@@ -1,0 +1,26 @@
+# Convenience targets for the Reducing-Peeling reproduction.
+
+.PHONY: install test bench examples quicktest clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+quicktest:
+	pytest tests/ -x -q -p no:randomly -k "not hypothesis"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/social_network_coverage.py
+	python examples/wireless_scheduling.py
+	python examples/kernelize_and_boost.py
+	python examples/upper_bound_certificates.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

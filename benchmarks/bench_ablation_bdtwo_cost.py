@@ -1,0 +1,58 @@
+"""Ablation — Theorem 3.1: BDTwo's superlinear folding cost.
+
+The paper proves BDTwo is Ω(m + n log n) by exhibiting a four-layer family
+with Θ(n) edges on which the degree-two foldings cascade for log n rounds
+(:func:`repro.graphs.named.bdtwo_lower_bound_family`).  This benchmark
+instantiates the family at growing sizes and reports, per instance,
+
+* the number of folds BDTwo performs and its wall time, versus
+* LinearTime's wall time (which stays linear: its path rules skip the
+  fold-only configuration entirely).
+
+Expected shape: folds grow as Θ(n) but BDTwo's *work per fold* grows with
+the cascade depth, so time ratios per doubling exceed LinearTime's.
+"""
+
+from conftest import emit
+
+from repro.bench import format_seconds, render_table
+from repro.core import bdtwo, linear_time
+from repro.graphs import bdtwo_lower_bound_family
+
+LEVELS = [6, 8, 10, 12]
+
+
+def _sweep():
+    rows = []
+    for levels in LEVELS:
+        graph = bdtwo_lower_bound_family(levels)
+        two = bdtwo(graph)
+        lt = linear_time(graph)
+        assert two.size == lt.size  # both solve the family optimally
+        rows.append(
+            [
+                levels,
+                graph.n,
+                graph.m,
+                two.stats.get("degree-two-folding", 0),
+                format_seconds(two.elapsed),
+                format_seconds(lt.elapsed),
+            ]
+        )
+    return rows
+
+
+def test_ablation_bdtwo_folding_cost(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_bdtwo_cost",
+        render_table(
+            ["levels", "n", "m", "BDTwo folds", "BDTwo time", "LinearTime time"],
+            rows,
+            title="Ablation (Theorem 3.1): folding cascade cost on the lower-bound family",
+        ),
+    )
+    # Folding must actually cascade: more folds than round-1 triggers.
+    for levels, n, _, folds, _, _ in rows:
+        third_layer = 1 << levels
+        assert folds > third_layer // 2

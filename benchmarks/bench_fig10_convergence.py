@@ -1,0 +1,38 @@
+"""Figure 10 — convergence of the local-search family on hard graphs (1/2).
+
+Runs ARW, OnlineMIS, ReduMIS, ARW-LT and ARW-NL under a shared wall-clock
+budget on the first four hard stand-ins (the paper uses soc-pokec,
+indochina, webbase, it-2004; the budget is scaled from five hours to
+seconds — DESIGN.md §4).
+
+Paper shape: the boosted variants take the lead immediately — ARW-NL's
+*first* solution is already within a fraction of a percent of the best
+anyone reaches — while ReduMIS starts late (full kernelization) and plain
+ARW needs the entire budget to catch up.
+"""
+
+from conftest import emit
+
+from repro.bench import load, render_convergence, run_convergence_suite
+
+GRAPHS = ["soc-pokec-sim", "indochina-sim", "webbase-sim", "it-2004-sim"]
+TIME_BUDGET = 2.0
+
+
+def test_fig10_convergence(benchmark):
+    def run_all():
+        return {name: run_convergence_suite(load(name), TIME_BUDGET, seed=7) for name in GRAPHS}
+
+    suites = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blocks = []
+    for name in GRAPHS:
+        runs = suites[name]
+        blocks.append(render_convergence(name, runs))
+        best = max(run.final_size for run in runs.values())
+        # ARW-NL's first reported solution is near the overall best
+        # (paper: >= 99.9% at full scale; >= 97% at this scale).
+        first = runs["ARW-NL"].first_size
+        assert first >= 0.97 * best
+        # The boosted variants never end below plain ARW.
+        assert runs["ARW-NL"].final_size >= 0.97 * runs["ARW"].final_size
+    emit("fig10_convergence", "\n\n".join(blocks))

@@ -1,0 +1,25 @@
+"""Figure 15 (appendix) — convergence on the remaining hard graphs (2/2).
+
+Same harness as Figure 10 on cnr-2000, eu-2005, uk-2002 and uk-2005.
+"""
+
+from conftest import emit
+
+from repro.bench import load, render_convergence, run_convergence_suite
+
+GRAPHS = ["cnr-2000-sim", "eu-2005-sim", "uk-2002-sim", "uk-2005-sim"]
+TIME_BUDGET = 2.0
+
+
+def test_fig15_convergence(benchmark):
+    def run_all():
+        return {name: run_convergence_suite(load(name), TIME_BUDGET, seed=15) for name in GRAPHS}
+
+    suites = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blocks = []
+    for name in GRAPHS:
+        runs = suites[name]
+        blocks.append(render_convergence(name, runs))
+        best = max(run.final_size for run in runs.values())
+        assert runs["ARW-NL"].first_size >= 0.97 * best
+    emit("fig15_convergence", "\n\n".join(blocks))

@@ -1,0 +1,77 @@
+"""Figure 7 — time and memory of Greedy, DU, SemiE and BDOne.
+
+The paper's Figure 7 shows, across the easy graphs sorted by size, that
+(a) Greedy is fastest, BDOne beats DU thanks to the lazy bucket updates,
+and SemiE is slowest (two-k swaps); (b) the four consume similar memory
+(all 2m + O(n) structures).
+
+Each algorithm's sweep over the whole easy suite is timed as one benchmark
+round; the table reports per-graph wall time and the Table-1 memory model.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.analysis import model_words
+from repro.baselines import du, greedy, semi_external
+from repro.bench import dataset_names, format_seconds, load, render_table
+from repro.core import bdone
+
+ALGORITHMS = {
+    "Greedy": greedy,
+    "DU": du,
+    "SemiE": semi_external,
+    "BDOne": bdone,
+}
+
+_timings = {}
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_fig7_baseline_sweep(benchmark, name):
+    algorithm = ALGORITHMS[name]
+    graphs = [load(graph_name) for graph_name in dataset_names("easy")]
+
+    def sweep():
+        return [algorithm(graph) for graph in graphs]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    _timings[name] = {r.graph_name: r.elapsed for r in results}
+    if len(_timings) == len(ALGORITHMS):
+        _emit_tables(graphs)
+
+
+def _emit_tables(graphs):
+    time_rows = []
+    memory_rows = []
+    for graph in graphs:
+        time_rows.append(
+            [graph.name]
+            + [format_seconds(_timings[name][graph.name]) for name in ALGORITHMS]
+        )
+        memory_rows.append(
+            [graph.name] + [model_words(name, graph) for name in ALGORITHMS]
+        )
+    emit(
+        "fig7a_baseline_times",
+        render_table(
+            ["Graph"] + list(ALGORITHMS),
+            time_rows,
+            title="Figure 7(a): processing time of the linear-space heuristics",
+        ),
+    )
+    emit(
+        "fig7b_baseline_memory",
+        render_table(
+            ["Graph"] + list(ALGORITHMS),
+            memory_rows,
+            title="Figure 7(b): memory usage (Table-1 word model)",
+        ),
+    )
+    # Shape assertions: SemiE is the slowest overall; the four memory
+    # models agree within a constant factor (all 2m + O(n)).
+    totals = {name: sum(times.values()) for name, times in _timings.items()}
+    assert totals["SemiE"] >= totals["Greedy"]
+    for graph in graphs:
+        words = [model_words(name, graph) for name in ALGORITHMS]
+        assert max(words) < 2 * min(words) + 10 * graph.n

@@ -1,0 +1,85 @@
+"""Eval-III (Figure 9) — kernelization time and kernel size by rule set.
+
+Compares three kernelizers on the easy suite:
+
+* ``LinearTime``  — degree-one + degree-two path rules (fastest, largest
+  kernel);
+* ``NearLinear``  — adds dominance + LP (the balance point);
+* ``KernelReduMIS`` — the full rule set of [1] via
+  :func:`repro.exact.full_kernelize` (smallest kernel, most expensive).
+
+Paper shape: time(KernelReduMIS) ≫ time(NearLinear) ≥ time(LinearTime) and
+size(KernelReduMIS) ≤ size(NearLinear) ≤ size(LinearTime).
+"""
+
+import time
+
+import pytest
+from conftest import emit
+
+from repro.bench import dataset_names, format_seconds, load, render_table
+from repro.core import kernelize
+from repro.exact import full_kernelize
+
+KERNELIZERS = {
+    "LinearTime": lambda graph: kernelize(graph, method="linear_time"),
+    "NearLinear": lambda graph: kernelize(graph, method="near_linear"),
+    "KernelReduMIS": full_kernelize,
+}
+
+_records = {}
+
+
+@pytest.mark.parametrize("name", list(KERNELIZERS))
+def test_fig9_kernelization(benchmark, name):
+    kernelizer = KERNELIZERS[name]
+    graphs = [load(graph_name) for graph_name in dataset_names("easy")]
+
+    def sweep():
+        out = {}
+        for graph in graphs:
+            start = time.perf_counter()
+            result = kernelizer(graph)
+            out[graph.name] = (time.perf_counter() - start, result.kernel.n)
+        return out
+
+    _records[name] = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    if len(_records) == len(KERNELIZERS):
+        _emit(graphs)
+
+
+def _emit(graphs):
+    time_rows = []
+    size_rows = []
+    for graph in graphs:
+        time_rows.append(
+            [graph.name]
+            + [format_seconds(_records[k][graph.name][0]) for k in KERNELIZERS]
+        )
+        size_rows.append(
+            [graph.name] + [_records[k][graph.name][1] for k in KERNELIZERS]
+        )
+    emit(
+        "fig9a_kernel_times",
+        render_table(
+            ["Graph"] + list(KERNELIZERS),
+            time_rows,
+            title="Figure 9(a): kernelization time by rule set",
+        ),
+    )
+    emit(
+        "fig9b_kernel_sizes",
+        render_table(
+            ["Graph"] + list(KERNELIZERS),
+            size_rows,
+            title="Figure 9(b): kernel size by rule set",
+        ),
+    )
+    # Shape assertions.
+    for graph in graphs:
+        lt_size = _records["LinearTime"][graph.name][1]
+        nl_size = _records["NearLinear"][graph.name][1]
+        full_size = _records["KernelReduMIS"][graph.name][1]
+        assert full_size <= nl_size <= lt_size
+    total = lambda k: sum(v[0] for v in _records[k].values())  # noqa: E731
+    assert total("KernelReduMIS") >= total("NearLinear")

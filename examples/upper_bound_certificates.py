@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Optimality certificates and upper bounds for free (paper Theorem 6.1).
+
+Every reducing-peeling run yields ``alpha(G) <= |I| + |R|`` as a by-product:
+``R`` counts the peeled vertices that never made it back.  When ``R`` is
+empty the solution is *certified maximum* — strictly more informative than
+what Greedy/DU can ever report, at the same asymptotic cost.
+
+The example sweeps graph density to show the certificate's phase behaviour
+(sparse graphs certify; dense cores leave a gap) and compares the
+by-product bound against the classic clique-cover / LP / cycle-cover bounds
+used by exact solvers.
+
+Run:  python examples/upper_bound_certificates.py
+"""
+
+from repro import gnm_random_graph, near_linear
+from repro.exact.bounds import clique_cover_bound, cycle_cover_bound
+from repro.core.lp_reduction import lp_upper_bound
+
+
+def main() -> None:
+    n = 20_000
+    print(f"G(n, m) sweep, n = {n:,}")
+    print(
+        f"{'avg deg':>8s} {'|I|':>8s} {'|I|+|R|':>8s} {'gap<=':>6s} {'certified':>9s}"
+    )
+    for average_degree in (1.5, 2.0, 2.5, 3.0, 3.5, 4.0):
+        graph = gnm_random_graph(n, int(n * average_degree / 2), seed=21)
+        result = near_linear(graph)
+        slack = result.upper_bound - result.size
+        print(
+            f"{average_degree:8.1f} {result.size:8,d} {result.upper_bound:8,d}"
+            f" {slack:6d} {'yes' if result.is_exact else 'no':>9s}"
+        )
+
+    # Against the classic bounds on one instance.
+    graph = gnm_random_graph(5_000, 9_000, seed=22)
+    result = near_linear(graph)
+    print(f"\nbound comparison on G({graph.n:,}, {graph.m:,}):")
+    print(f"  clique cover bound : {clique_cover_bound(graph):,}")
+    print(f"  LP relaxation bound: {int(lp_upper_bound(graph)):,}")
+    print(f"  cycle cover bound  : {cycle_cover_bound(graph):,}")
+    print(f"  reducing-peeling   : {result.upper_bound:,}  (with |I| = {result.size:,})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package (offline), so PEP 660
+editable wheels cannot be built; this classic ``setup.py`` lets
+``pip install -e .`` fall back to the legacy develop install.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Evaluation metrics used across the benchmark harness.
+
+The paper reports three quantities for solution quality:
+
+* **gap** — ``α(G) − |I|`` (Tables 3, 5) or ``best_known − |I|``
+  (Tables 4, 6);
+* **accuracy** — ``|I| / α(G)`` (Table 3's "Accuracy of NearLinear");
+* convergence tuples ``(t, |I|)`` for the local-search comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = ["gap", "accuracy", "best_of", "gaps_to_best", "speedup_to_reach"]
+
+
+def gap(reference: int, achieved: int) -> int:
+    """``reference − achieved`` (0 means the reference size was matched)."""
+    return reference - achieved
+
+
+def accuracy(reference: int, achieved: int) -> float:
+    """``achieved / reference`` as a fraction (1.0 when reference is 0)."""
+    if reference == 0:
+        return 1.0
+    return achieved / reference
+
+
+def best_of(sizes: Iterable[int]) -> int:
+    """The best (largest) size among the given results."""
+    return max(sizes, default=0)
+
+
+def gaps_to_best(sizes: Dict[str, int]) -> Dict[str, int]:
+    """Per-algorithm gap to the best size in the dict (Table 4's layout)."""
+    reference = best_of(sizes.values())
+    return {name: reference - size for name, size in sizes.items()}
+
+
+def speedup_to_reach(
+    series_a: Sequence[Tuple[float, int]],
+    series_b: Sequence[Tuple[float, int]],
+    target: int,
+) -> Optional[float]:
+    """How much faster series A reaches ``target`` than series B.
+
+    Each series is a convergence record of ``(time, size)`` tuples sorted
+    by time.  Returns ``t_b / t_a`` or ``None`` when either series never
+    reaches the target.
+    """
+    t_a = _first_time_reaching(series_a, target)
+    t_b = _first_time_reaching(series_b, target)
+    if t_a is None or t_b is None:
+        return None
+    if t_a == 0:
+        return float("inf")
+    return t_b / t_a
+
+
+def _first_time_reaching(series: Sequence[Tuple[float, int]], target: int) -> Optional[float]:
+    for t, size in series:
+        if size >= target:
+            return t
+    return None

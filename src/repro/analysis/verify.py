@@ -1,0 +1,89 @@
+"""Solution verification: independence, maximality, vertex covers.
+
+Every algorithm's output is checked through these helpers in the test
+suite; they are also part of the public API so downstream users can audit
+results cheaply (all checks are O(n + m)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ..errors import NotASolutionError
+from ..graphs.static_graph import Graph
+
+__all__ = [
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_vertex_cover",
+    "assert_valid_solution",
+    "complement_vertex_cover",
+    "greedy_maximal_extension",
+]
+
+
+def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether ``vertices`` is an independent set of ``graph``."""
+    selected = set(vertices)
+    if any(not 0 <= v < graph.n for v in selected):
+        return False
+    for v in selected:
+        for w in graph.neighbors(v):
+            if w in selected:
+                return False
+    return True
+
+
+def is_maximal_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether ``vertices`` is independent and inclusion-maximal."""
+    selected = set(vertices)
+    if not is_independent_set(graph, selected):
+        return False
+    for v in range(graph.n):
+        if v not in selected and not any(w in selected for w in graph.neighbors(v)):
+            return False
+    return True
+
+
+def is_vertex_cover(graph: Graph, vertices: Iterable[int]) -> bool:
+    """Whether ``vertices`` covers every edge of ``graph``."""
+    selected = set(vertices)
+    return all(u in selected or v in selected for u, v in graph.edges())
+
+
+def assert_valid_solution(graph: Graph, vertices: Iterable[int], maximal: bool = True) -> None:
+    """Raise :class:`~repro.errors.NotASolutionError` on an invalid solution."""
+    selected = set(vertices)
+    if not is_independent_set(graph, selected):
+        raise NotASolutionError(f"{sorted(selected)} is not an independent set")
+    if maximal and not is_maximal_independent_set(graph, selected):
+        raise NotASolutionError(f"{sorted(selected)} is not maximal")
+
+
+def complement_vertex_cover(graph: Graph, independent_set: Iterable[int]) -> Set[int]:
+    """The vertex cover ``V \\ I`` corresponding to an independent set.
+
+    The equivalence the paper leans on throughout: ``I`` is a (maximum)
+    independent set iff ``V \\ I`` is a (minimum) vertex cover.
+    """
+    selected = set(independent_set)
+    assert_valid_solution(graph, selected, maximal=False)
+    return {v for v in range(graph.n) if v not in selected}
+
+
+def greedy_maximal_extension(graph: Graph, vertices: Iterable[int]) -> Set[int]:
+    """Extend an independent set to a maximal one (first-fit order)."""
+    selected = set(vertices)
+    assert_valid_solution(graph, selected, maximal=False)
+    blocked: List[bool] = [False] * graph.n
+    for v in selected:
+        blocked[v] = True
+        for w in graph.neighbors(v):
+            blocked[w] = True
+    for v in range(graph.n):
+        if not blocked[v]:
+            selected.add(v)
+            blocked[v] = True
+            for w in graph.neighbors(v):
+                blocked[w] = True
+    return selected

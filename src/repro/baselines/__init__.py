@@ -1,0 +1,22 @@
+"""The competitor algorithms from the paper's evaluation.
+
+* :func:`greedy` / :func:`du` — the classic linear-time heuristics;
+* :func:`semi_external` — SemiE [30] with one-k / two-k swaps;
+* :func:`online_mis` — OnlineMIS [19];
+* :func:`redumis` — the (simplified) ReduMIS evolutionary search [28].
+"""
+
+from .du import du
+from .greedy import greedy
+from .online_mis import online_mis, quick_single_pass_reduce
+from .redumis import redumis
+from .semi_external import semi_external
+
+__all__ = [
+    "du",
+    "greedy",
+    "online_mis",
+    "quick_single_pass_reduce",
+    "redumis",
+    "semi_external",
+]

@@ -1,0 +1,44 @@
+"""Greedy — static minimum-degree greedy (paper Section 1).
+
+Iteratively adds the vertex with the smallest *initial* degree to the
+solution and removes it together with its neighbours; degrees are never
+recomputed ("considers vertex degrees in a static way").  Linear time via
+counting sort over the degree sequence.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.result import MISResult
+from ..graphs.static_graph import Graph
+
+__all__ = ["greedy"]
+
+
+def greedy(graph: Graph) -> MISResult:
+    """Compute a maximal independent set with the static greedy heuristic."""
+    start = time.perf_counter()
+    n = graph.n
+    degrees = graph.degrees()
+    max_degree = max(degrees, default=0)
+    buckets = [[] for _ in range(max_degree + 1)]
+    for v in range(n):
+        buckets[degrees[v]].append(v)
+    removed = bytearray(n)
+    solution = []
+    for bucket in buckets:
+        for v in bucket:
+            if removed[v]:
+                continue
+            solution.append(v)
+            removed[v] = 1
+            for w in graph.neighbors(v):
+                removed[w] = 1
+    return MISResult(
+        algorithm="Greedy",
+        graph_name=graph.name,
+        independent_set=frozenset(solution),
+        upper_bound=n,
+        elapsed=time.perf_counter() - start,
+    )

@@ -1,0 +1,92 @@
+"""Time-budgeted convergence harness for the Eval-IV comparison.
+
+Runs the five local-search contenders — ARW, OnlineMIS, ReduMIS, ARW-LT,
+ARW-NL — on one graph under a shared wall-clock budget, each producing its
+``(t, |I|)`` improvement series, and renders the series as the text
+equivalent of the paper's Figure 10 / 15 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.du import du
+from ..baselines.online_mis import online_mis
+from ..baselines.redumis import redumis
+from ..graphs.static_graph import Graph
+from ..localsearch.arw import arw
+from ..localsearch.boosted import arw_lt, arw_nl
+from ..localsearch.events import ConvergenceRecorder
+from .tables import format_seconds
+
+__all__ = ["ConvergenceRun", "run_convergence_suite", "render_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceRun:
+    """One algorithm's convergence record on one graph."""
+
+    algorithm: str
+    events: Tuple[Tuple[float, int], ...]
+
+    @property
+    def final_size(self) -> int:
+        """Best size at the end of the budget."""
+        return self.events[-1][1] if self.events else 0
+
+    @property
+    def first_size(self) -> int:
+        """Size of the first reported solution."""
+        return self.events[0][1] if self.events else 0
+
+    @property
+    def first_time(self) -> float:
+        """When the first solution was reported."""
+        return self.events[0][0] if self.events else float("inf")
+
+
+def run_convergence_suite(
+    graph: Graph, time_budget: float = 1.0, seed: int = 0
+) -> Dict[str, ConvergenceRun]:
+    """Run all five contenders on ``graph`` under ``time_budget`` seconds."""
+    runs: Dict[str, ConvergenceRun] = {}
+
+    recorder = ConvergenceRecorder()
+    initial = du(graph).independent_set
+    arw(graph, initial, time_budget=time_budget, seed=seed, recorder=recorder)
+    runs["ARW"] = ConvergenceRun("ARW", tuple(recorder.events))
+
+    recorder = ConvergenceRecorder()
+    online_mis(graph, time_budget=time_budget, seed=seed, recorder=recorder)
+    runs["OnlineMIS"] = ConvergenceRun("OnlineMIS", tuple(recorder.events))
+
+    recorder = ConvergenceRecorder()
+    redumis(graph, time_budget=time_budget, seed=seed, recorder=recorder)
+    runs["ReduMIS"] = ConvergenceRun("ReduMIS", tuple(recorder.events))
+
+    result = arw_lt(graph, time_budget=time_budget, seed=seed)
+    runs["ARW-LT"] = ConvergenceRun("ARW-LT", tuple(result.recorder.events))
+
+    result = arw_nl(graph, time_budget=time_budget, seed=seed)
+    runs["ARW-NL"] = ConvergenceRun("ARW-NL", tuple(result.recorder.events))
+    return runs
+
+
+def render_convergence(graph_name: str, runs: Dict[str, ConvergenceRun]) -> str:
+    """Text rendition of a Figure-10 panel: one series line per algorithm."""
+    lines = [f"Convergence on {graph_name} (t -> |I|):"]
+    best = max((run.final_size for run in runs.values()), default=0)
+    for name in ("ARW", "OnlineMIS", "ReduMIS", "ARW-LT", "ARW-NL"):
+        run = runs.get(name)
+        if run is None:
+            continue
+        series = ", ".join(f"{format_seconds(t)}->{size:,}" for t, size in run.events[:6])
+        if len(run.events) > 6:
+            series += ", …"
+        accuracy = 100.0 * run.final_size / best if best else 100.0
+        lines.append(
+            f"  {name:10s} first=({format_seconds(run.first_time)}, {run.first_size:,}) "
+            f"final={run.final_size:,} ({accuracy:.3f}% of best)  [{series}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Timing/one-shot execution helpers shared by the benchmark files.
+
+``pytest-benchmark`` handles the statistically careful timing of the hot
+calls; these helpers cover the surrounding bookkeeping — running a suite of
+algorithms over a suite of graphs once each and collecting (size, time,
+memory) triples for the table printers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..analysis.memory import model_words
+from ..core.result import MISResult
+from ..graphs.static_graph import Graph
+
+__all__ = ["RunRecord", "run_algorithms", "time_call"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (algorithm, graph) execution."""
+
+    algorithm: str
+    graph_name: str
+    size: int
+    upper_bound: int
+    is_exact: bool
+    elapsed: float
+    model_memory_words: int
+
+
+def time_call(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once, returning ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_algorithms(
+    graph: Graph,
+    algorithms: Sequence[Tuple[str, Callable[[Graph], MISResult]]],
+) -> List[RunRecord]:
+    """Run each named algorithm once on ``graph``; collect records."""
+    records: List[RunRecord] = []
+    for name, fn in algorithms:
+        result, elapsed = time_call(lambda fn=fn: fn(graph))
+        try:
+            words = model_words(name, graph)
+        except Exception:
+            words = 0
+        records.append(
+            RunRecord(
+                algorithm=name,
+                graph_name=graph.name,
+                size=result.size,
+                upper_bound=result.upper_bound,
+                is_exact=result.is_exact,
+                elapsed=elapsed,
+                model_memory_words=words,
+            )
+        )
+    return records

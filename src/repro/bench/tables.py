@@ -1,0 +1,65 @@
+"""Fixed-width table rendering for the benchmark harness.
+
+The benchmarks print their results in the same row layout as the paper's
+tables so eyeballing a run against the paper is immediate.  Rendering is
+dependency-free: plain monospace columns with a rule under the header.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["render_table", "format_number", "format_seconds"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_number(value: Cell) -> str:
+    """Human-friendly formatting: thousands separators, trimmed floats."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.3f}"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Seconds with adaptive precision (µs → s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render a monospace table; numbers are right-aligned."""
+    formatted: List[List[str]] = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in formatted:
+        cells = []
+        for i, cell in enumerate(row):
+            if i == 0:
+                cells.append(cell.ljust(widths[i]))
+            else:
+                cells.append(cell.rjust(widths[i]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

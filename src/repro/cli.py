@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the library's everyday uses:
+
+* ``solve``     — compute an independent set (or vertex cover) of a graph
+  file with any of the paper's algorithms;
+* ``kernelize`` — shrink a graph to its kernel and write it back out;
+* ``info``      — print structural statistics of a graph file;
+* ``generate``  — emit a synthetic graph (power-law, G(n,m), web-like).
+
+Graph files are auto-detected by extension: ``.metis``/``.graph`` (METIS),
+``.col``/``.dimacs`` (DIMACS), anything else as a SNAP edge list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from .analysis import complement_vertex_cover
+from .baselines import du, greedy, online_mis, redumis, semi_external
+from .core import ALGORITHMS, compute_independent_set, kernelize
+from .errors import ReproError
+from .graphs import (
+    Graph,
+    gnm_random_graph,
+    power_law_graph,
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    web_like_graph,
+    write_edge_list,
+    write_metis,
+)
+
+__all__ = ["main", "build_parser"]
+
+_BASELINES = {
+    "Greedy": greedy,
+    "DU": du,
+    "SemiE": semi_external,
+    "OnlineMIS": online_mis,
+    "ReduMIS": redumis,
+}
+
+
+def load_graph(path: str) -> Tuple[Graph, Optional[List[int]]]:
+    """Read a graph file, dispatching on the extension.
+
+    Returns ``(graph, labels)``; ``labels`` maps compacted ids back to the
+    file's original labels for edge lists, and is ``None`` for the
+    1-indexed formats.
+    """
+    lower = path.lower()
+    if lower.endswith((".metis", ".graph")):
+        return read_metis(path, name=path), None
+    if lower.endswith((".col", ".dimacs")):
+        return read_dimacs(path, name=path), None
+    graph, labels = read_edge_list(path, name=path)
+    return graph, labels
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph, labels = load_graph(args.graph)
+    name = args.algorithm
+    if name in _BASELINES:
+        result = _BASELINES[name](graph)
+    else:
+        result = compute_independent_set(graph, name)
+    vertices = sorted(result.independent_set)
+    if args.vertex_cover:
+        vertices = sorted(complement_vertex_cover(graph, result.independent_set))
+        print(f"# minimum-vertex-cover heuristic: size {len(vertices)}")
+    else:
+        print(f"# independent set: size {result.size}")
+        print(f"# upper bound on alpha: {result.upper_bound}")
+        print(f"# certified maximum: {result.is_exact}")
+    print(f"# algorithm: {result.algorithm}, time: {result.elapsed:.3f}s")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for v in vertices:
+                handle.write(f"{labels[v] if labels else v}\n")
+        print(f"# wrote {len(vertices)} vertex ids to {args.output}")
+    elif args.print_vertices:
+        for v in vertices:
+            print(labels[v] if labels else v)
+    return 0
+
+
+def _cmd_kernelize(args: argparse.Namespace) -> int:
+    graph, _ = load_graph(args.graph)
+    kernel_result = kernelize(graph, method=args.method)
+    kernel = kernel_result.kernel
+    print(f"# input : n={graph.n} m={graph.m}")
+    print(f"# kernel: n={kernel.n} m={kernel.m} (method={args.method})")
+    print(f"# rules fired: {dict(kernel_result.log.stats)}")
+    if args.output:
+        if args.output.lower().endswith((".metis", ".graph")):
+            write_metis(kernel, args.output)
+        else:
+            write_edge_list(kernel, args.output)
+        print(f"# wrote kernel to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .graphs import connected_components, degeneracy, degree_histogram
+
+    graph, _ = load_graph(args.graph)
+    histogram = degree_histogram(graph)
+    components = connected_components(graph)
+    print(f"vertices        : {graph.n}")
+    print(f"edges           : {graph.m}")
+    print(f"average degree  : {graph.average_degree():.2f}")
+    print(f"maximum degree  : {graph.max_degree()}")
+    print(f"degree <= 2     : {sum(histogram.get(d, 0) for d in (0, 1, 2))}")
+    print(f"components      : {len(components)}")
+    print(f"largest comp.   : {len(components[0]) if components else 0}")
+    print(f"degeneracy      : {degeneracy(graph)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.family == "powerlaw":
+        graph = power_law_graph(
+            args.n, beta=args.beta, average_degree=args.avg_degree, seed=args.seed
+        )
+    elif args.family == "gnm":
+        graph = gnm_random_graph(args.n, int(args.n * args.avg_degree / 2), seed=args.seed)
+    else:
+        graph = web_like_graph(
+            args.n, attach=max(1, round(args.avg_degree / 2)), seed=args.seed
+        )
+    if args.output.lower().endswith((".metis", ".graph")):
+        write_metis(graph, args.output)
+    else:
+        write_edge_list(graph, args.output)
+    print(f"# wrote {args.family} graph n={graph.n} m={graph.m} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reducing-Peeling near-maximum independent sets (SIGMOD'17)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="compute an independent set")
+    solve.add_argument("graph", help="graph file (edge list / METIS / DIMACS)")
+    solve.add_argument(
+        "--algorithm",
+        default="NearLinear",
+        choices=sorted(ALGORITHMS) + sorted(_BASELINES),
+        help="which algorithm to run (default NearLinear)",
+    )
+    solve.add_argument("--vertex-cover", action="store_true", help="output the complement cover")
+    solve.add_argument("--output", help="write the vertex ids to this file")
+    solve.add_argument(
+        "--print-vertices", action="store_true", help="print the vertex ids to stdout"
+    )
+    solve.set_defaults(handler=_cmd_solve)
+
+    kernel = commands.add_parser("kernelize", help="reduce a graph to its kernel")
+    kernel.add_argument("graph")
+    kernel.add_argument(
+        "--method",
+        default="near_linear",
+        choices=["degree_one", "linear_time", "near_linear"],
+    )
+    kernel.add_argument("--output", help="write the kernel graph to this file")
+    kernel.set_defaults(handler=_cmd_kernelize)
+
+    info = commands.add_parser("info", help="print graph statistics")
+    info.add_argument("graph")
+    info.set_defaults(handler=_cmd_info)
+
+    generate = commands.add_parser("generate", help="emit a synthetic graph")
+    generate.add_argument("output")
+    generate.add_argument("--family", default="powerlaw", choices=["powerlaw", "gnm", "web"])
+    generate.add_argument("--n", type=int, default=10_000)
+    generate.add_argument("--avg-degree", type=float, default=6.0)
+    generate.add_argument("--beta", type=float, default=2.2)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

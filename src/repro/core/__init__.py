@@ -1,0 +1,47 @@
+"""The paper's primary contribution: the Reducing-Peeling framework.
+
+Public surface:
+
+* the four algorithms — :func:`bdone`, :func:`bdtwo`, :func:`linear_time`,
+  :func:`near_linear` — all returning :class:`MISResult`;
+* :func:`compute_independent_set` / :data:`ALGORITHMS` name-based dispatch;
+* :func:`kernelize` + :class:`KernelResult` for the Reducing-only mode;
+* the stand-alone reduction rules in :mod:`repro.core.reductions` and the
+  LP reduction in :mod:`repro.core.lp_reduction`;
+* the Theorem-6.1 upper-bound helpers.
+"""
+
+from .bdone import bdone
+from .bdtwo import bdtwo
+from .components import solve_by_components
+from .framework import ALGORITHMS, compute_independent_set
+from .kernel import KERNEL_METHODS, KernelResult, kernelize
+from .linear_time import linear_time, linear_time_reduce
+from .lp_reduction import LPReductionResult, lp_reduction, lp_upper_bound
+from .near_linear import near_linear, near_linear_reduce
+from .result import MISResult
+from .upper_bound import certify_maximum, reducing_peeling_upper_bound
+from .vertex_cover import VCResult, minimum_vertex_cover
+
+__all__ = [
+    "ALGORITHMS",
+    "KERNEL_METHODS",
+    "KernelResult",
+    "LPReductionResult",
+    "MISResult",
+    "VCResult",
+    "bdone",
+    "bdtwo",
+    "certify_maximum",
+    "compute_independent_set",
+    "kernelize",
+    "minimum_vertex_cover",
+    "solve_by_components",
+    "linear_time",
+    "linear_time_reduce",
+    "lp_reduction",
+    "lp_upper_bound",
+    "near_linear",
+    "near_linear_reduce",
+    "reducing_peeling_upper_bound",
+]

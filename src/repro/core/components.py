@@ -1,0 +1,61 @@
+"""Per-component solving: divide a disconnected graph, conquer each piece.
+
+Independent sets compose over connected components
+(``α(G) = Σ α(Gᵢ)``), so running an algorithm per component is both exact
+and often faster in practice: the max-degree peeling order then cannot
+jump between unrelated regions, and the Theorem-6.1 certificate becomes
+per-component (one stubborn component no longer voids the bound earned on
+the easy ones — the composed slack is the *sum* of per-component slacks,
+never more).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+from ..graphs.properties import connected_components
+from ..graphs.static_graph import Graph
+from .result import MISResult
+
+__all__ = ["solve_by_components"]
+
+
+def solve_by_components(
+    graph: Graph, algorithm: Callable[[Graph], MISResult]
+) -> MISResult:
+    """Run ``algorithm`` on every connected component and merge the results.
+
+    The merged result's upper bound is the sum of the per-component bounds
+    (valid because α is additive over components) and the certificate holds
+    iff every component certified.
+    """
+    start = time.perf_counter()
+    components = connected_components(graph)
+    vertices: List[int] = []
+    upper_bound = 0
+    peeled = 0
+    surviving = 0
+    stats: dict = {}
+    algorithm_name = "unknown"
+    for component in components:
+        subgraph, old_ids = graph.subgraph(component)
+        result = algorithm(subgraph)
+        algorithm_name = result.algorithm
+        vertices.extend(old_ids[v] for v in result.independent_set)
+        upper_bound += result.upper_bound
+        peeled += result.peeled
+        surviving += result.surviving_peels
+        for rule, count in result.stats.items():
+            stats[rule] = stats.get(rule, 0) + count
+    return MISResult(
+        algorithm=f"{algorithm_name}/components",
+        graph_name=graph.name,
+        independent_set=frozenset(vertices),
+        upper_bound=upper_bound,
+        peeled=peeled,
+        surviving_peels=surviving,
+        is_exact=surviving == 0,
+        stats=stats,
+        elapsed=time.perf_counter() - start,
+    )

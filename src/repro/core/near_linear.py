@@ -1,0 +1,137 @@
+"""NearLinear — the near-linear-time algorithm (paper Algorithm 5).
+
+Three phases, matching the paper's implementation notes in Section 5:
+
+1. **one-pass dominance** in degree-decreasing order — shrinks Δ cheaply
+   because high-degree vertices tend to be dominated by low-degree ones;
+2. **LP (Nemhauser–Trotter) reduction**, run once;
+3. the **main loop**: degree-two path reductions and the incrementally
+   maintained dominance reduction (via per-edge triangle counts,
+   Lemma 5.2), peeling the maximum-degree vertex only when neither exact
+   rule applies.
+
+The degree-one reduction is subsumed by dominance (a degree-one vertex
+dominates its neighbour); it is still drained with top priority so that
+maximal degree-two paths always terminate at degree-≥3 anchors.
+
+Worst-case time O(m·Δ); in practice near-linear because phase 1 collapses Δ.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from ..graphs.static_graph import Graph
+from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
+from .dominance import TriangleWorkspace, one_pass_dominance
+from .lp_reduction import lp_reduction
+from .result import MISResult
+from .trace import DecisionLog
+
+__all__ = ["near_linear", "near_linear_reduce"]
+
+
+def _main_loop(workspace: TriangleWorkspace, stop_before_peel: bool) -> bool:
+    """Run Algorithm 5's reduction loop.
+
+    Returns ``True`` when the graph was fully consumed, ``False`` when the
+    loop stopped at the first would-be peel.
+    """
+    log = workspace.log
+    while True:
+        u = workspace.pop_degree_one()
+        if u is not None:
+            for v in workspace.iter_live_neighbors(u):
+                workspace.delete_vertex(v, "exclude")
+                break
+            log.bump("degree-one")
+            continue
+        u = workspace.pop_degree_two()
+        if u is not None:
+            rule = apply_degree_two_path_reduction(workspace, u)
+            if rule != RULE_IRREDUCIBLE:
+                log.bump(rule)
+            continue
+        u = workspace.pop_dominated()
+        if u is not None:
+            workspace.delete_vertex(u, "exclude")
+            log.bump("dominance")
+            continue
+        u = workspace.pop_max_degree()
+        if u is None:
+            return True
+        if stop_before_peel:
+            return False
+        workspace.delete_vertex(u, "peel")
+        log.bump("peel")
+
+
+def _preprocess(graph: Graph, log: DecisionLog, preprocess: bool) -> Tuple[Graph, List[int]]:
+    """Phases 1–2: one-pass dominance, then the LP reduction.
+
+    Decisions land in ``log`` (original ids); returns the residual graph
+    and its id map.
+    """
+    if not preprocess:
+        return graph, list(range(graph.n))
+    dominated = one_pass_dominance(graph)
+    for u in dominated:
+        log.exclude(u)
+    log.bump("one-pass-dominance", len(dominated))
+    survivors = sorted(set(range(graph.n)) - set(dominated))
+    residual, ids = graph.subgraph(survivors)
+    lp = lp_reduction(residual)
+    for v in lp.included:
+        log.include(ids[v])
+    for v in lp.excluded:
+        log.exclude(ids[v])
+    log.bump("lp-included", len(lp.included))
+    log.bump("lp-excluded", len(lp.excluded))
+    half, half_ids = residual.subgraph(lp.remaining)
+    return half, [ids[v] for v in half_ids]
+
+
+def near_linear(graph: Graph, preprocess: bool = True) -> MISResult:
+    """Compute a maximal independent set of ``graph`` with NearLinear.
+
+    ``preprocess=False`` skips the one-pass dominance and LP phases (used
+    by ablation benchmarks; the paper's algorithm runs both).
+    """
+    start = time.perf_counter()
+    log = DecisionLog()
+    residual, ids = _preprocess(graph, log, preprocess)
+    workspace = TriangleWorkspace(residual)
+    _main_loop(workspace, stop_before_peel=False)
+    log.extend_mapped(workspace.log, ids)
+    outcome = log.replay(graph)
+    return MISResult(
+        algorithm="NearLinear",
+        graph_name=graph.name,
+        independent_set=outcome.vertices,
+        upper_bound=outcome.upper_bound,
+        peeled=outcome.peeled,
+        surviving_peels=outcome.surviving_peels,
+        is_exact=outcome.is_exact,
+        stats=dict(log.stats),
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def near_linear_reduce(
+    graph: Graph, preprocess: bool = True
+) -> Tuple[Graph, List[int], DecisionLog]:
+    """Kernelize ``graph`` with NearLinear's exact rules only (no peeling).
+
+    Returns ``(kernel, old_ids, log)`` exactly like
+    :func:`repro.core.linear_time.linear_time_reduce`; used by ARW-NL and
+    the Eval-III kernel comparison, and to report the paper's
+    "kernel graph size by NearLinear" column of Table 3.
+    """
+    log = DecisionLog()
+    residual, ids = _preprocess(graph, log, preprocess)
+    workspace = TriangleWorkspace(residual)
+    _main_loop(workspace, stop_before_peel=True)
+    log.extend_mapped(workspace.log, ids)
+    kernel, kernel_ids = workspace.export_kernel()
+    return kernel, [ids[v] for v in kernel_ids], log

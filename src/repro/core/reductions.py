@@ -1,0 +1,269 @@
+"""Stand-alone exact reduction rules on immutable graphs.
+
+These are reference implementations of each reduction rule as a pure
+``Graph -> Graph`` transformation, used by the property-test suite to verify
+— against brute force — that every rule preserves the independence number
+in the exact arithmetic the paper states:
+
+* degree-one reduction (Lemma 2.1): ``α(G) = α(G \\ {v}) `` with the
+  degree-one vertex's neighbour ``v`` removed;
+* degree-two isolation (Lemma 2.2(1)): ``α(G) = α(G \\ {v, w})``;
+* degree-two folding (Lemma 2.2(2)): ``α(G) = α(G / {u, v, w}) + 1``;
+* dominance (Lemma 5.1): ``α(G) = α(G \\ {u})`` for a dominated ``u``;
+* the five degree-two path cases (Lemma 4.1) with their ``+⌊|P|/2⌋`` /
+  ``+(|P|-1)/2`` offsets.
+
+The production algorithms use the incremental in-place machinery instead;
+keeping these pure versions separate gives the tests an independent oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import GraphError
+from ..graphs.static_graph import Graph
+
+__all__ = [
+    "RuleApplication",
+    "reduce_degree_one",
+    "reduce_degree_two_isolation",
+    "reduce_degree_two_folding",
+    "reduce_dominance",
+    "reduce_twin",
+    "reduce_unconfined",
+    "find_dominated_vertex",
+    "find_twin_pair",
+    "find_unconfined_vertex",
+    "is_dominated_by",
+    "is_unconfined",
+]
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """The effect of one exact rule: a smaller graph plus α bookkeeping.
+
+    ``alpha_offset`` satisfies ``α(original) = α(reduced) + alpha_offset``.
+    ``removed_vertices`` are the *original* ids no longer present; the
+    reduced graph is compacted and ``old_ids`` maps its ids back.
+    """
+
+    reduced: Graph
+    old_ids: Tuple[int, ...]
+    alpha_offset: int
+    removed_vertices: FrozenSet[int]
+    note: str = ""
+    fold_record: Optional[Tuple[int, int, int]] = None
+    extra_edges: Tuple[Tuple[int, int], ...] = field(default=())
+
+
+def _delete(graph: Graph, doomed: FrozenSet[int], extra_edges: Tuple[Tuple[int, int], ...] = ()) -> Tuple[Graph, Tuple[int, ...]]:
+    keep = [v for v in range(graph.n) if v not in doomed]
+    new_id = {old: new for new, old in enumerate(keep)}
+    edges = [
+        (new_id[u], new_id[v])
+        for u, v in graph.edges()
+        if u not in doomed and v not in doomed
+    ]
+    edges.extend((new_id[u], new_id[v]) for u, v in extra_edges)
+    return Graph.from_edges(len(keep), edges, name=graph.name), tuple(keep)
+
+
+def reduce_degree_one(graph: Graph, u: int) -> RuleApplication:
+    """Apply the degree-one reduction at vertex ``u`` (Lemma 2.1).
+
+    Removes ``u``'s unique neighbour ``v`` and ``u`` itself (``u`` joins
+    the solution), so ``α(G) = α(G') + 1``.
+    """
+    if graph.degree(u) != 1:
+        raise GraphError(f"vertex {u} has degree {graph.degree(u)}, expected 1")
+    v = graph.neighbors(u)[0]
+    reduced, old_ids = _delete(graph, frozenset({u, v}))
+    return RuleApplication(
+        reduced, old_ids, 1, frozenset({u, v}), note=f"degree-one at {u}, removed {v}"
+    )
+
+
+def reduce_degree_two_isolation(graph: Graph, u: int) -> RuleApplication:
+    """Apply degree-two isolation at ``u`` (Lemma 2.2(1)).
+
+    ``u``'s neighbours ``v, w`` are adjacent; remove all three (``u``
+    joins the solution), so ``α(G) = α(G') + 1``.
+    """
+    if graph.degree(u) != 2:
+        raise GraphError(f"vertex {u} has degree {graph.degree(u)}, expected 2")
+    v, w = graph.neighbors(u)
+    if not graph.has_edge(v, w):
+        raise GraphError(f"neighbours of {u} are not adjacent; use folding")
+    reduced, old_ids = _delete(graph, frozenset({u, v, w}))
+    return RuleApplication(
+        reduced, old_ids, 1, frozenset({u, v, w}), note=f"isolation at {u}"
+    )
+
+
+def reduce_degree_two_folding(graph: Graph, u: int) -> RuleApplication:
+    """Apply degree-two folding at ``u`` (Lemma 2.2(2)).
+
+    ``u``'s neighbours ``v, w`` are non-adjacent; ``{u, v, w}`` contracts
+    to one supervertex and ``α(G) = α(G/{u,v,w}) + 1``.  The supervertex
+    takes ``w``'s id (recorded in ``fold_record = (u, v, w)``).
+    """
+    if graph.degree(u) != 2:
+        raise GraphError(f"vertex {u} has degree {graph.degree(u)}, expected 2")
+    v, w = graph.neighbors(u)
+    if graph.has_edge(v, w):
+        raise GraphError(f"neighbours of {u} are adjacent; use isolation")
+    merged_neighbourhood = (set(graph.neighbors(v)) | set(graph.neighbors(w))) - {u, v, w}
+    extra = tuple((w, x) for x in sorted(merged_neighbourhood) if not graph.has_edge(w, x))
+    reduced, old_ids = _delete(graph, frozenset({u, v}), extra_edges=extra)
+    return RuleApplication(
+        reduced,
+        old_ids,
+        1,
+        frozenset({u, v}),
+        note=f"folding at {u} into supervertex {w}",
+        fold_record=(u, v, w),
+        extra_edges=extra,
+    )
+
+
+def is_dominated_by(graph: Graph, u: int, v: int) -> bool:
+    """Whether ``v`` dominates ``u``: ``(v,u) ∈ E`` and N(v)\\{u} ⊆ N(u)."""
+    if not graph.has_edge(u, v):
+        return False
+    u_neighbourhood = set(graph.neighbors(u))
+    return all(x == u or x in u_neighbourhood for x in graph.neighbors(v))
+
+
+def find_dominated_vertex(graph: Graph) -> Optional[Tuple[int, int]]:
+    """Find some pair ``(u, v)`` with ``v`` dominating ``u``, or ``None``."""
+    for u in range(graph.n):
+        for v in graph.neighbors(u):
+            if graph.degree(v) <= graph.degree(u) and is_dominated_by(graph, u, v):
+                return u, v
+    return None
+
+
+def find_twin_pair(graph: Graph) -> Optional[Tuple[int, int]]:
+    """Find reducible degree-3 twins: non-adjacent ``u, v`` with
+    ``N(u) = N(v)`` and at least one edge inside the shared neighbourhood.
+
+    This is the non-folding half of the twin reduction of [1]; the
+    independent-neighbourhood half needs a 5-to-1 contraction and is left
+    to the branching solver.
+    """
+    buckets: Dict[Tuple[int, ...], int] = {}
+    for u in range(graph.n):
+        if graph.degree(u) != 3:
+            continue
+        key = graph.neighbors(u)
+        if key in buckets:
+            v = buckets[key]
+            a, b, c = key
+            if graph.has_edge(a, b) or graph.has_edge(a, c) or graph.has_edge(b, c):
+                return v, u
+        else:
+            buckets[key] = u
+    return None
+
+
+def reduce_twin(graph: Graph, u: int, v: int) -> RuleApplication:
+    """Apply the (non-folding) twin reduction to twins ``u`` and ``v``.
+
+    Preconditions: ``u ≠ v`` non-adjacent, ``N(u) = N(v)`` with
+    ``|N(u)| = 3`` and an edge inside ``N(u)``.  Then some maximum
+    independent set contains both twins, so ``{u, v}`` joins the solution
+    and ``N(u)`` is removed: ``α(G) = α(G') + 2``.
+    """
+    if graph.has_edge(u, v):
+        raise GraphError(f"twins {u}, {v} must be non-adjacent")
+    neighbourhood = graph.neighbors(u)
+    if neighbourhood != graph.neighbors(v):
+        raise GraphError(f"vertices {u} and {v} are not twins")
+    if len(neighbourhood) != 3:
+        raise GraphError("twin reduction implemented for degree-3 twins")
+    a, b, c = neighbourhood
+    if not (graph.has_edge(a, b) or graph.has_edge(a, c) or graph.has_edge(b, c)):
+        raise GraphError("twin neighbourhood is independent; folding case unsupported")
+    doomed = frozenset({u, v, a, b, c})
+    reduced, old_ids = _delete(graph, doomed)
+    return RuleApplication(
+        reduced, old_ids, 2, doomed, note=f"twins {u}, {v} with clique edge in N"
+    )
+
+
+def reduce_dominance(graph: Graph, u: int, v: int) -> RuleApplication:
+    """Apply the dominance reduction: ``v`` dominates ``u``, remove ``u``.
+
+    ``α(G) = α(G \\ {u})`` (Lemma 5.1).
+    """
+    if not is_dominated_by(graph, u, v):
+        raise GraphError(f"vertex {v} does not dominate {u}")
+    reduced, old_ids = _delete(graph, frozenset({u}))
+    return RuleApplication(
+        reduced, old_ids, 0, frozenset({u}), note=f"{v} dominates {u}"
+    )
+
+
+def is_unconfined(graph: Graph, v: int) -> bool:
+    """Whether ``v`` is *unconfined* (Xiao–Nagamochi / Akiba–Iwata).
+
+    The contradiction-growing procedure: assume every maximum independent
+    set contains ``v`` and grow a witness set ``S`` (initially ``{v}``)
+    that such a set must avoid the neighbourhood of.  Pick any ``u ∈ N(S)``
+    with exactly one neighbour in ``S``; let ``W = N(u) \\ N[S]``:
+
+    * ``W = ∅``  — contradiction: some MIS excludes ``v`` (unconfined);
+    * ``|W| = 1`` — the single vertex must also be in the assumed MIS:
+      add it to ``S`` and repeat;
+    * otherwise try another ``u``; if none works, ``v`` is confined.
+
+    Removing an unconfined vertex preserves α.  This is one of the
+    expensive rules the paper cites when explaining why applying the full
+    rule set of [1] is slow (Section 3.1) — and it is used here only by
+    the exact solver's kernelizer.
+    """
+    in_s = {v}
+    closed = set(graph.neighbors(v))
+    closed.add(v)
+    while True:
+        best_w: Optional[FrozenSet[int]] = None
+        frontier = set()
+        for s in in_s:
+            frontier.update(graph.neighbors(s))
+        frontier -= in_s
+        for u in frontier:
+            s_neighbours = sum(1 for x in graph.neighbors(u) if x in in_s)
+            if s_neighbours != 1:
+                continue
+            outside = frozenset(x for x in graph.neighbors(u) if x not in closed)
+            if not outside:
+                return True
+            if len(outside) == 1 and (best_w is None or len(outside) < len(best_w)):
+                best_w = outside
+        if best_w is None:
+            return False
+        (w,) = best_w
+        in_s.add(w)
+        closed.update(graph.neighbors(w))
+        closed.add(w)
+
+
+def find_unconfined_vertex(graph: Graph) -> Optional[int]:
+    """Some unconfined vertex of ``graph``, or ``None``."""
+    for v in range(graph.n):
+        if graph.degree(v) and is_unconfined(graph, v):
+            return v
+    return None
+
+
+def reduce_unconfined(graph: Graph, v: int) -> RuleApplication:
+    """Remove the unconfined vertex ``v``; ``α(G) = α(G \\ {v})``."""
+    if not is_unconfined(graph, v):
+        raise GraphError(f"vertex {v} is not unconfined")
+    reduced, old_ids = _delete(graph, frozenset({v}))
+    return RuleApplication(
+        reduced, old_ids, 0, frozenset({v}), note=f"unconfined vertex {v}"
+    )

@@ -1,0 +1,71 @@
+"""Result type shared by every independent-set algorithm in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["MISResult"]
+
+
+@dataclass(frozen=True)
+class MISResult:
+    """The outcome of one independent-set computation.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the result (``"BDOne"`` …).
+    graph_name:
+        Name of the input graph (may be empty).
+    independent_set:
+        The vertices of the computed independent set.
+    upper_bound:
+        The Theorem-6.1 bound ``|I| + |R|`` on the independence number
+        (``R`` = peeled vertices that did not re-enter the solution).
+        For algorithms outside the reducing-peeling framework this is the
+        trivial bound ``n``.
+    peeled:
+        ``|F|`` — how many times the inexact (peeling) reduction fired.
+    surviving_peels:
+        ``|R| = |F \\ I|`` — peeled vertices absent from the final solution.
+    is_exact:
+        True when the result is *certified* maximum, i.e. ``R`` is empty
+        (Theorem 6.1); always false for algorithms without the certificate.
+    stats:
+        Per-reduction-rule application counters.
+    elapsed:
+        Wall-clock seconds spent inside the algorithm.
+    """
+
+    algorithm: str
+    graph_name: str
+    independent_set: FrozenSet[int]
+    upper_bound: int
+    peeled: int = 0
+    surviving_peels: int = 0
+    is_exact: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the independent set."""
+        return len(self.independent_set)
+
+    def gap_to(self, independence_number: int) -> int:
+        """The paper's "gap" metric: α(G) minus the achieved size."""
+        return independence_number - self.size
+
+    def accuracy_to(self, independence_number: Optional[int]) -> float:
+        """Achieved size as a fraction of α(G) (1.0 when α is 0)."""
+        if not independence_number:
+            return 1.0
+        return self.size / independence_number
+
+    def __repr__(self) -> str:  # compact, table-friendly
+        flag = " exact" if self.is_exact else ""
+        return (
+            f"<MISResult {self.algorithm} |I|={self.size} "
+            f"ub={self.upper_bound}{flag}>"
+        )

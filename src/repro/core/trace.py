@@ -1,0 +1,194 @@
+"""Decision logging and solution reconstruction for reducing-peeling runs.
+
+Every algorithm in the framework makes three kinds of *final* decisions while
+the graph shrinks (include / exclude / peel) plus two kinds of *deferred*
+decisions whose resolution must wait until the rest of the graph is solved:
+
+* **path entries** (Algorithm 4 Line 7) — vertices removed by a degree-two
+  path reduction; popped in reverse push order, each is added to the solution
+  exactly when none of its original neighbours made it in;
+* **fold records** (Lemma 2.2(2) backtrack, Algorithm 3 Line 6) — a folded
+  triple ``{u, v, w}`` whose supervertex reuses id ``w``; on replay, ``w`` in
+  the solution means ``v`` joins it too, otherwise ``u`` does.
+
+:class:`DecisionLog` records all five in one chronological list; replaying it
+backwards resolves the deferred decisions in the correct dependency order,
+after which the solution is extended to a maximal independent set
+(Algorithm 1 Line 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graphs.static_graph import Graph
+
+__all__ = ["DecisionLog", "ReplayOutcome"]
+
+_INCLUDE = 0
+_EXCLUDE = 1
+_PEEL = 2
+_PATH = 3
+_FOLD = 4
+
+
+class ReplayOutcome:
+    """The reconstructed solution plus the Theorem-6.1 bookkeeping."""
+
+    __slots__ = ("in_set", "peeled", "surviving_peels")
+
+    def __init__(self, in_set: List[bool], peeled: int, surviving_peels: int) -> None:
+        self.in_set = in_set
+        self.peeled = peeled
+        self.surviving_peels = surviving_peels
+
+    @property
+    def vertices(self) -> frozenset:
+        """The solution as a frozenset of vertex ids."""
+        return frozenset(v for v, flag in enumerate(self.in_set) if flag)
+
+    @property
+    def upper_bound(self) -> int:
+        """``|I| + |R|`` — the Theorem-6.1 upper bound on α(G)."""
+        return sum(self.in_set) + self.surviving_peels
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the solution is certified maximum (``R`` empty)."""
+        return self.surviving_peels == 0
+
+
+class DecisionLog:
+    """Chronological record of reducing-peeling decisions."""
+
+    __slots__ = ("_entries", "stats")
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[int, Tuple[int, ...]]] = []
+        self.stats: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def include(self, v: int) -> None:
+        """Vertex ``v`` is definitively in the independent set."""
+        self._entries.append((_INCLUDE, (v,)))
+
+    def exclude(self, v: int) -> None:
+        """Vertex ``v`` was removed by an exact rule (not in the set)."""
+        self._entries.append((_EXCLUDE, (v,)))
+
+    def peel(self, v: int) -> None:
+        """Vertex ``v`` was removed by the inexact (peeling) reduction."""
+        self._entries.append((_PEEL, (v,)))
+
+    def push_path(self, v: int, blocker_a: int, blocker_b: int) -> None:
+        """Defer vertex ``v`` of a reduced degree-two path (stack entry).
+
+        ``blocker_a`` / ``blocker_b`` are ``v``'s two *live* neighbours at
+        removal time (path predecessor/successor or an anchor).  Replay
+        adds ``v`` exactly when neither blocker made it into the solution —
+        checking the live neighbourhood rather than the full original one
+        keeps the Lemma 4.1 alternation exact even after earlier rewirings
+        retired some of ``v``'s original edges.
+        """
+        self._entries.append((_PATH, (v, blocker_a, blocker_b)))
+
+    def fold(self, u: int, v: int, w: int) -> None:
+        """Record the folding of degree-two vertex ``u`` with neighbours
+        ``v`` and ``w``; the supervertex survives under id ``w``."""
+        self._entries.append((_FOLD, (u, v, w)))
+
+    def bump(self, rule: str, amount: int = 1) -> None:
+        """Increment the application counter for ``rule``."""
+        self.stats[rule] = self.stats.get(rule, 0) + amount
+
+    def extend_mapped(self, other: "DecisionLog", id_map) -> None:
+        """Append another log's entries with vertex ids translated.
+
+        Used when an algorithm ran on a compacted subgraph: ``id_map[x]``
+        is the original id of subgraph vertex ``x``.  Stats are merged.
+        """
+        for kind, data in other._entries:
+            self._entries.append((kind, tuple(id_map[x] for x in data)))
+        for rule, amount in other.stats.items():
+            self.bump(rule, amount)
+
+    def copy(self) -> "DecisionLog":
+        """An independent copy (entries and stats)."""
+        clone = DecisionLog()
+        clone._entries = list(self._entries)
+        clone.stats = dict(self.stats)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Introspection (used by tests)
+    # ------------------------------------------------------------------
+    @property
+    def peel_count(self) -> int:
+        """How many peel entries were recorded."""
+        return sum(1 for kind, _ in self._entries if kind == _PEEL)
+
+    @property
+    def alpha_offset(self) -> int:
+        """``α(original) − α(residual)``, valid when only exact rules ran.
+
+        Each include contributes 1, each fold contributes 1, and every
+        degree-two path application contributes half its pushed vertices
+        (case 3 pushes ``|P| − 1`` vertices worth ``(|P| − 1)/2``; cases
+        4/5 push ``|P|`` worth ``|P|/2`` — always exactly half).  Peels
+        void the equality (they only guarantee ≥), so callers must check
+        :attr:`peel_count` is zero before relying on this.
+        """
+        includes = folds = paths = 0
+        for kind, _ in self._entries:
+            if kind == _INCLUDE:
+                includes += 1
+            elif kind == _FOLD:
+                folds += 1
+            elif kind == _PATH:
+                paths += 1
+        return includes + folds + paths // 2
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self, graph: Graph, extend_maximal: bool = True) -> ReplayOutcome:
+        """Reconstruct the independent set on the *original* graph.
+
+        Processing order (mirrors the paper):
+
+        1. commit all ``include`` decisions;
+        2. walk the log backwards resolving path entries and fold records
+           (Algorithm 4 Line 7 / Algorithm 3 Line 6);
+        3. optionally extend to a maximal independent set, which also gives
+           peeled vertices their chance to re-enter (Algorithm 1 Line 6).
+        """
+        n = graph.n
+        in_set = [False] * n
+        peeled_vertices: List[int] = []
+        for kind, data in self._entries:
+            if kind == _INCLUDE:
+                in_set[data[0]] = True
+            elif kind == _PEEL:
+                peeled_vertices.append(data[0])
+        for kind, data in reversed(self._entries):
+            if kind == _PATH:
+                v, blocker_a, blocker_b = data
+                if not in_set[blocker_a] and not in_set[blocker_b]:
+                    in_set[v] = True
+            elif kind == _FOLD:
+                u, v, w = data
+                if in_set[w]:
+                    in_set[v] = True
+                else:
+                    in_set[u] = True
+        if extend_maximal:
+            for v in range(n):
+                if not in_set[v] and not any(in_set[x] for x in graph.neighbors(v)):
+                    in_set[v] = True
+        surviving = sum(1 for v in peeled_vertices if not in_set[v])
+        return ReplayOutcome(in_set, len(peeled_vertices), surviving)

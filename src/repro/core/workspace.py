@@ -1,0 +1,213 @@
+"""Mutable run-time graph state for the adjacency-array algorithms.
+
+:class:`ArrayWorkspace` backs BDOne and LinearTime.  It keeps the paper's
+2m + O(n) memory discipline: the adjacency arrays copied from the input
+graph never grow — vertices are *marked* deleted (Section 3.2,
+"Implementation Details") and the degree-two path reductions mutate adjacency
+entries in place instead of inserting edges (Section 4, "Analysis and
+Implementation Details").
+
+The workspace owns the degree-one / degree-two worklists (``V₌₁`` / ``V₌₂``
+in the pseudocode), the lazy max-degree selector used by peeling, and the
+:class:`~repro.core.trace.DecisionLog` that later reconstructs the solution.
+Worklists are lazy stacks: vertices are pushed whenever their degree *reaches*
+the target value and validated on pop, so each vertex may appear several
+times but total queue traffic is bounded by the number of degree decrements,
+i.e. O(m).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graphs.static_graph import Graph
+from .bucket_queue import MaxDegreeSelector
+from .trace import DecisionLog
+
+__all__ = ["ArrayWorkspace"]
+
+
+class ArrayWorkspace:
+    """Deletion-tolerant adjacency-array state shared by BDOne/LinearTime."""
+
+    __slots__ = ("graph", "n", "adj", "deg", "alive", "log", "v1", "v2", "_selector")
+
+    def __init__(self, graph: Graph, track_degree_two: bool = False) -> None:
+        self.graph = graph
+        self.n = graph.n
+        self.adj: List[List[int]] = graph.adjacency_lists()
+        self.deg: List[int] = graph.degrees()
+        self.alive = bytearray([1]) * graph.n if graph.n else bytearray()
+        self.log = DecisionLog()
+        self.v1: List[int] = []
+        self.v2: List[int] = []
+        self._selector: Optional[MaxDegreeSelector] = None
+        for v in range(self.n):
+            d = self.deg[v]
+            if d == 0:
+                self.alive[v] = 0
+                self.log.include(v)
+            elif d == 1:
+                self.v1.append(v)
+            elif d == 2 and track_degree_two:
+                self.v2.append(v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def live_neighbors(self, v: int) -> List[int]:
+        """The current neighbours of ``v`` (skipping deleted vertices)."""
+        alive = self.alive
+        return [w for w in self.adj[v] if alive[w]]
+
+    def iter_live_neighbors(self, v: int):
+        """Generator over current neighbours of ``v``."""
+        alive = self.alive
+        return (w for w in self.adj[v] if alive[w])
+
+    def has_live_edge(self, u: int, v: int) -> bool:
+        """Whether the live edge ``(u, v)`` exists.
+
+        Scans the smaller current neighbourhood, as the paper does instead
+        of hashing all edges (Section 4, implementation details).
+        """
+        if self.deg[u] > self.deg[v]:
+            u, v = v, u
+        alive = self.alive
+        for w in self.adj[u]:
+            if w == v and alive[w]:
+                return True
+        return False
+
+    @property
+    def live_vertex_count(self) -> int:
+        """Number of not-yet-deleted vertices."""
+        return sum(self.alive)
+
+    def live_edge_count(self) -> int:
+        """Number of live edges (O(m) scan; used for kernel export)."""
+        alive = self.alive
+        total = 0
+        for v in range(self.n):
+            if alive[v]:
+                total += self.deg[v]
+        return total // 2
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def pop_degree_one(self) -> Optional[int]:
+        """Pop a validated degree-one vertex, or ``None`` if V₌₁ is empty."""
+        while self.v1:
+            v = self.v1.pop()
+            if self.alive[v] and self.deg[v] == 1:
+                return v
+        return None
+
+    def pop_degree_two(self) -> Optional[int]:
+        """Pop a validated degree-two vertex, or ``None`` if V₌₂ is empty."""
+        while self.v2:
+            v = self.v2.pop()
+            if self.alive[v] and self.deg[v] == 2:
+                return v
+        return None
+
+    def include(self, v: int) -> None:
+        """Commit ``v`` (degree zero) to the independent set."""
+        self.alive[v] = 0
+        self.log.include(v)
+
+    def delete_vertex(self, v: int, reason: str = "exclude") -> None:
+        """Remove ``v`` and its edges; ``reason`` is ``exclude`` or ``peel``.
+
+        Mirrors the paper's ``DeleteVertex``: each live neighbour's degree
+        drops and the neighbour is re-filed into the appropriate worklist
+        (or committed to the solution at degree zero).
+        """
+        alive = self.alive
+        deg = self.deg
+        alive[v] = 0
+        if reason == "peel":
+            self.log.peel(v)
+        else:
+            self.log.exclude(v)
+        for w in self.adj[v]:
+            if alive[w]:
+                deg[w] -= 1
+                self._refile(w)
+
+    def remove_silently(self, v: int) -> None:
+        """Mark ``v`` dead without logging or touching neighbour degrees.
+
+        Used by the path reductions for interior path vertices whose fate
+        is deferred to the reconstruction stack; callers are responsible
+        for fixing the degrees of the surviving endpoints.
+        """
+        self.alive[v] = 0
+
+    def rewire(self, v: int, old: int, new: int) -> None:
+        """Replace the adjacency entry ``old`` with ``new`` in ``adj[v]``.
+
+        This is the in-place edge modification of Section 4 that lets
+        LinearTime "add" the edges of Figures 4(c)/4(e) without growing
+        any adjacency array.
+        """
+        row = self.adj[v]
+        row[row.index(old)] = new
+
+    def settle_new_edge(self, a: int, b: int) -> None:
+        """No-op hook: the array workspace keeps no per-edge metadata.
+
+        The triangle workspace overrides this to recompute δ(a, b) after a
+        Figure 4(e) rewiring; having the hook here lets both workspaces
+        share the Lemma 4.1 driver.
+        """
+
+    def decrement_degree(self, v: int) -> None:
+        """Drop ``deg(v)`` by one and re-file ``v`` (endpoint bookkeeping)."""
+        self.deg[v] -= 1
+        self._refile(v)
+
+    def refile(self, v: int) -> None:
+        """Public re-file hook (after a rewire that kept the degree)."""
+        self._refile(v)
+
+    def _refile(self, w: int) -> None:
+        d = self.deg[w]
+        if d == 0:
+            self.include(w)
+        elif d == 1:
+            self.v1.append(w)
+        elif d == 2:
+            self.v2.append(w)
+
+    # ------------------------------------------------------------------
+    # Peeling support
+    # ------------------------------------------------------------------
+    def pop_max_degree(self) -> Optional[int]:
+        """A live vertex of maximum degree (lazy bucket queue; O(m) total)."""
+        if self._selector is None:
+            self._selector = MaxDegreeSelector(self.deg, self.alive)
+        return self._selector.pop_max()
+
+    # ------------------------------------------------------------------
+    # Kernel export
+    # ------------------------------------------------------------------
+    def export_kernel(self) -> Tuple[Graph, List[int]]:
+        """The live residual graph, compacted, plus the id mapping.
+
+        Returns ``(kernel, old_ids)`` with ``old_ids[new] = original id``.
+        Used when an algorithm stops right before its first peel to hand
+        the kernel to a downstream solver (Section 6).
+        """
+        alive = self.alive
+        old_ids = [v for v in range(self.n) if alive[v]]
+        new_id = {old: new for new, old in enumerate(old_ids)}
+        offsets = [0]
+        targets: List[int] = []
+        for old in old_ids:
+            row = sorted(new_id[w] for w in self.adj[old] if alive[w])
+            targets.extend(row)
+            offsets.append(len(targets))
+        name = f"{self.graph.name}-kernel" if self.graph.name else "kernel"
+        return Graph(offsets, targets, name=name), old_ids

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so that callers
+can catch every error raised by this package with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a graph is structurally invalid for the requested operation."""
+
+
+class VertexError(GraphError):
+    """Raised when a vertex id is out of range or otherwise invalid."""
+
+    def __init__(self, vertex: int, n: int) -> None:
+        super().__init__(f"vertex {vertex} is not in the range [0, {n})")
+        self.vertex = vertex
+        self.n = n
+
+
+class EdgeError(GraphError):
+    """Raised when an edge is invalid (self-loop, duplicate where forbidden)."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph file cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an exact computation exceeds its node or time budget.
+
+    The exact branch-and-reduce solver has worst-case exponential running
+    time; callers give it a budget and this error carries the best bounds
+    known at the point the budget ran out.
+    """
+
+    def __init__(self, message: str, best_lower: int = 0, best_upper: int | None = None) -> None:
+        super().__init__(message)
+        self.best_lower = best_lower
+        self.best_upper = best_upper
+
+
+class NotASolutionError(ReproError):
+    """Raised by verification helpers when a claimed solution is invalid."""

@@ -1,0 +1,40 @@
+"""Exact solving and bounding substrate.
+
+* :func:`brute_force_mis` / :func:`brute_force_alpha` — the exhaustive
+  oracle used by property tests (n ≤ 40);
+* :func:`maximum_independent_set` / :func:`independence_number` — the
+  VCSolver-style branch-and-reduce solver for the Table-3 ground truth;
+* :func:`full_kernelize` — the full-rule kernelizer (KernelReduMIS's
+  reduction phase, Eval-III);
+* the clique-cover / LP / cycle-cover upper bounds of Table 7.
+"""
+
+from .bounds import (
+    clique_cover_bound,
+    combined_upper_bound,
+    cycle_cover_bound,
+    forest_alpha,
+)
+from .brute_force import brute_force_alpha, brute_force_mis
+from .clique import clique_number, maximum_clique
+from .vcsolver import (
+    ExactResult,
+    full_kernelize,
+    independence_number,
+    maximum_independent_set,
+)
+
+__all__ = [
+    "ExactResult",
+    "brute_force_alpha",
+    "brute_force_mis",
+    "clique_cover_bound",
+    "clique_number",
+    "maximum_clique",
+    "combined_upper_bound",
+    "cycle_cover_bound",
+    "forest_alpha",
+    "full_kernelize",
+    "independence_number",
+    "maximum_independent_set",
+]

@@ -1,0 +1,170 @@
+"""Upper bounds on the independence number (paper Table 7, "existing").
+
+The exact solver of [1] (Akiba–Iwata) prunes with the minimum of three
+bounds, all reimplemented here:
+
+* **clique cover** — any partition of V into cliques gives α ≤ #cliques
+  (each clique contributes at most one vertex); built greedily along a
+  degeneracy order;
+* **LP** — the half-integral relaxation bound ``|V₀| + |V_½|/2`` from
+  :mod:`repro.core.lp_reduction`;
+* **cycle cover** — partition V into vertex-disjoint cycles plus a leftover
+  forest: a cycle of length ℓ contributes ⌊ℓ/2⌋ and the forest's exact α is
+  computed by tree DP, so α(G) ≤ Σ⌊ℓ/2⌋ + α(forest).
+
+These compete against the reducing-peeling by-product bound of Theorem 6.1
+in the Table-7 benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set, Tuple
+
+from ..core.lp_reduction import lp_upper_bound
+from ..graphs.properties import degeneracy_ordering
+from ..graphs.static_graph import Graph
+
+__all__ = [
+    "clique_cover_bound",
+    "cycle_cover_bound",
+    "forest_alpha",
+    "combined_upper_bound",
+]
+
+
+def clique_cover_bound(graph: Graph) -> int:
+    """Greedy clique cover size: α(G) ≤ number of cliques.
+
+    Processes vertices in reverse degeneracy (smallest-last) order, placing
+    each into the first existing clique it completes; neighbours appearing
+    later in the order are few (≤ degeneracy), keeping the scan cheap.
+    """
+    order, _ = degeneracy_ordering(graph)
+    clique_of: Dict[int, int] = {}
+    cliques: List[Set[int]] = []
+    for v in reversed(order):
+        neighbours = set(graph.neighbors(v))
+        candidate_ids = sorted({clique_of[w] for w in neighbours if w in clique_of})
+        placed = False
+        for cid in candidate_ids:
+            if cliques[cid] <= neighbours:
+                cliques[cid].add(v)
+                clique_of[v] = cid
+                placed = True
+                break
+        if not placed:
+            clique_of[v] = len(cliques)
+            cliques.append({v})
+    return len(cliques)
+
+
+def forest_alpha(graph: Graph, vertices: List[int]) -> int:
+    """Exact α of an induced *forest* via the classic two-state tree DP.
+
+    ``vertices`` must induce an acyclic subgraph; each tree contributes
+    ``max(take_root, skip_root)``.
+    """
+    vertex_set = set(vertices)
+    visited: Set[int] = set()
+    total = 0
+    for root in vertices:
+        if root in visited:
+            continue
+        # Iterative post-order DP: state = (α excluding v, α including v).
+        stack: List[Tuple[int, int, bool]] = [(root, -1, False)]
+        exclude: Dict[int, int] = {}
+        include: Dict[int, int] = {}
+        while stack:
+            v, parent, processed = stack.pop()
+            if processed:
+                exc = inc = 0
+                for w in graph.neighbors(v):
+                    if w != parent and w in vertex_set:
+                        exc += max(exclude[w], include[w])
+                        inc += exclude[w]
+                exclude[v] = exc
+                include[v] = inc + 1
+                continue
+            visited.add(v)
+            stack.append((v, parent, True))
+            for w in graph.neighbors(v):
+                if w != parent and w in vertex_set and w not in visited:
+                    stack.append((w, v, False))
+        total += max(exclude[root], include[root])
+    return total
+
+
+def cycle_cover_bound(graph: Graph) -> int:
+    """Disjoint-cycle decomposition bound: Σ⌊ℓᵢ/2⌋ + α(leftover forest).
+
+    Repeatedly extracts a cycle by DFS from the current residual graph
+    until none remains; the residual is then a forest whose α is exact.
+    Any vertex partition ``{Vᵢ}`` satisfies α(G) ≤ Σ α(G[Vᵢ]).
+    """
+    adjacency = graph.adjacency_sets()
+    alive: Set[int] = set(range(graph.n))
+    bound = 0
+    while True:
+        cycle = _find_cycle(adjacency, alive)
+        if cycle is None:
+            break
+        bound += len(cycle) // 2
+        for v in cycle:
+            for w in adjacency[v]:
+                adjacency[w].discard(v)
+            adjacency[v] = set()
+            alive.discard(v)
+    bound += forest_alpha(graph, _forest_vertices(adjacency, alive))
+    return bound
+
+
+def _forest_vertices(adjacency: List[Set[int]], alive: Set[int]) -> List[int]:
+    return sorted(alive)
+
+
+def _find_cycle(adjacency: List[Set[int]], alive: Set[int]) -> List[int]:
+    """Find any cycle in the residual graph, or ``None``.
+
+    Iterative DFS keeping the explicit ancestor path, so a back edge to an
+    on-path vertex yields the cycle directly (a merely *visited* vertex in
+    another branch is not enough — that is the classic stack-DFS pitfall).
+    """
+    # 0 = unvisited (absent), 1 = on the current DFS path, 2 = finished.
+    color: Dict[int, int] = {}
+    for start in sorted(alive):
+        if color.get(start):
+            continue
+        color[start] = 1
+        path = [start]
+        frames = [(start, -1, iter(sorted(adjacency[start])))]
+        while frames:
+            v, parent, neighbours = frames[-1]
+            advanced = False
+            for w in neighbours:
+                if w == parent:
+                    continue
+                state = color.get(w, 0)
+                if state == 1:
+                    return path[path.index(w):]
+                if state == 0:
+                    color[w] = 1
+                    path.append(w)
+                    frames.append((w, v, iter(sorted(adjacency[w]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[v] = 2
+                frames.pop()
+                path.pop()
+    return None
+
+
+def combined_upper_bound(graph: Graph) -> int:
+    """The minimum of the three classic bounds (the [1] baseline of Table 7)."""
+    if graph.n == 0:
+        return 0
+    best = clique_cover_bound(graph)
+    best = min(best, math.floor(lp_upper_bound(graph)))
+    best = min(best, cycle_cover_bound(graph))
+    return best

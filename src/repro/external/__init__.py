@@ -1,0 +1,10 @@
+"""Semi-external (I/O-efficient) computation — the paper's future work.
+
+O(n) memory, sequential edge passes: :class:`EdgeStream` provides the
+access pattern, :func:`semi_external_bdone` the pass-based BDOne.
+"""
+
+from .edge_stream import EdgeStream
+from .semi_external import semi_external_bdone
+
+__all__ = ["EdgeStream", "semi_external_bdone"]

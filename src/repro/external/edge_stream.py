@@ -1,0 +1,84 @@
+"""Edge streams: multi-pass, O(n)-memory access to a graph's edges.
+
+The paper closes with "extending our techniques to compute independent
+sets I/O efficiently" as future work; the semi-external model of Liu et
+al. [30] keeps only O(n) state in memory and reads the edge list in
+sequential passes.  :class:`EdgeStream` abstracts that access pattern over
+either an edge-list file on disk or an in-memory graph (useful for tests),
+counting passes so algorithms can report their I/O cost.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Tuple, Union
+
+from ..errors import GraphFormatError
+from ..graphs.static_graph import Graph
+
+__all__ = ["EdgeStream"]
+
+
+class EdgeStream:
+    """Sequential multi-pass edge access with pass accounting.
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`~repro.graphs.static_graph.Graph` or a path to a
+        SNAP-style edge-list file with vertex ids in ``0 .. n-1``.
+    n:
+        Number of vertices.  Required for file sources without a
+        ``# repro graph: n=N`` header; ignored for graph sources.
+    """
+
+    def __init__(self, source: Union[Graph, str, "os.PathLike[str]"], n: int = -1) -> None:
+        self._graph: Graph | None = None
+        self._path: str | None = None
+        self.passes = 0
+        if isinstance(source, Graph):
+            self._graph = source
+            self.n = source.n
+            return
+        self._path = os.fspath(source)
+        if n < 0:
+            n = self._read_header_n()
+        if n < 0:
+            raise GraphFormatError(
+                f"{self._path} has no 'n=' header; pass the vertex count explicitly"
+            )
+        self.n = n
+
+    def _read_header_n(self) -> int:
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith(("#", "%")):
+                    for token in line.split():
+                        if token.startswith("n="):
+                            return int(token[2:])
+                    continue
+                break
+        return -1
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """One sequential pass over all edges (each undirected edge once)."""
+        self.passes += 1
+        if self._graph is not None:
+            yield from self._graph.edges()
+            return
+        with open(self._path, "r", encoding="utf-8") as handle:
+            for line_number, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith(("#", "%")):
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise GraphFormatError(f"expected 'u v', got {line!r}", line_number)
+                u, v = int(parts[0]), int(parts[1])
+                if not (0 <= u < self.n and 0 <= v < self.n):
+                    raise GraphFormatError(f"vertex out of range in {line!r}", line_number)
+                if u != v:
+                    yield (u, v)

@@ -1,0 +1,186 @@
+"""Semi-external Reducing-Peeling: O(n) memory, sequential edge passes.
+
+The paper's closing future-work item, built on the semi-external model of
+Liu et al. [30]: the algorithm may hold a constant number of n-sized arrays
+in memory but never the adjacency structure; edges arrive only as
+sequential passes over the (possibly on-disk) edge list.
+
+Each *round* of :func:`semi_external_bdone` makes one pass to recompute,
+for every undecided vertex, its live degree and (when the degree is one)
+its unique live neighbour, then applies in-memory what BDOne would:
+
+* degree-0 vertices enter the solution;
+* degree-1 vertices enter the solution and their neighbours are deleted
+  (ties between adjacent degree-1 vertices break by id, matching the
+  degree-one reduction either way);
+* if nothing else applies, the highest-degree vertex is peeled.
+
+A final extension phase makes the solution maximal with the same
+pass-based discipline (undecided vertices with no solution neighbour join
+the solution when they are local id-minima among the remaining candidates,
+Luby-style).  The returned result reports the number of passes — the
+semi-external model's cost metric.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from ..core.result import MISResult
+from ..errors import ReproError
+from ..graphs.static_graph import Graph
+from .edge_stream import EdgeStream
+
+__all__ = ["semi_external_bdone"]
+
+_UNDECIDED = 0
+_IN = 1
+_OUT = 2
+_PEELED = 3
+
+
+def semi_external_bdone(
+    source: Union[Graph, str],
+    n: int = -1,
+    max_rounds: Optional[int] = None,
+) -> MISResult:
+    """BDOne in the semi-external model; returns pass count in ``stats``.
+
+    ``source`` is a graph or an edge-list path (see
+    :class:`~repro.external.edge_stream.EdgeStream`).  ``max_rounds``
+    bounds the reduction rounds (defaults to ``n + 2``, enough for any
+    input since every round decides at least one vertex).
+    """
+    start = time.perf_counter()
+    stream = EdgeStream(source, n=n)
+    vertex_count = stream.n
+    status = bytearray(vertex_count)  # all undecided
+    degree = [0] * vertex_count
+    sole_neighbor = [-1] * vertex_count
+    if max_rounds is None:
+        max_rounds = vertex_count + 2
+    peeled = 0
+
+    for _ in range(max_rounds):
+        undecided = _recount(stream, status, degree, sole_neighbor)
+        if undecided == 0:
+            break
+        changed = _apply_reductions(status, degree, sole_neighbor)
+        if changed:
+            continue
+        # Peeling: temporarily drop the highest-degree undecided vertex.
+        victim = max(
+            (v for v in range(vertex_count) if status[v] == _UNDECIDED),
+            key=lambda v: degree[v],
+        )
+        status[victim] = _PEELED
+        peeled += 1
+    else:
+        raise ReproError(f"semi-external reduction exceeded {max_rounds} rounds")
+
+    surviving = _extend_maximal(stream, status)
+    solution = frozenset(v for v in range(vertex_count) if status[v] == _IN)
+    return MISResult(
+        algorithm="SemiExternalBDOne",
+        graph_name=stream._graph.name if stream._graph is not None else str(source),
+        independent_set=solution,
+        upper_bound=len(solution) + surviving,
+        peeled=peeled,
+        surviving_peels=surviving,
+        is_exact=surviving == 0,
+        stats={"passes": stream.passes, "peel": peeled},
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def _recount(stream: EdgeStream, status: bytearray, degree, sole_neighbor) -> int:
+    """One pass: live degrees + the unique neighbour of degree-1 vertices."""
+    for v in range(stream.n):
+        degree[v] = 0
+        sole_neighbor[v] = -1
+    for u, v in stream.edges():
+        if status[u] == _UNDECIDED and status[v] == _UNDECIDED:
+            degree[u] += 1
+            degree[v] += 1
+            sole_neighbor[u] = v
+            sole_neighbor[v] = u
+    return sum(1 for v in range(stream.n) if status[v] == _UNDECIDED)
+
+
+def _apply_reductions(status: bytearray, degree, sole_neighbor) -> bool:
+    """In-memory sweep of the degree-0/1 reductions; True if anything fired.
+
+    All current degree-0/1 vertices are handled in one sweep in id order;
+    the order makes conflicting pairs (two adjacent degree-1 vertices)
+    resolve exactly like sequential degree-one reductions would.
+    """
+    changed = False
+    for v in range(len(status)):
+        if status[v] != _UNDECIDED:
+            continue
+        if degree[v] == 0:
+            status[v] = _IN
+            changed = True
+        elif degree[v] == 1:
+            w = sole_neighbor[v]
+            if status[w] == _OUT:
+                # Our neighbour was just deleted by an earlier degree-one
+                # application this sweep; we are now degree zero.
+                status[v] = _IN
+                changed = True
+            elif status[w] == _UNDECIDED and (degree[w] != 1 or sole_neighbor[w] == v):
+                status[v] = _IN
+                status[w] = _OUT
+                changed = True
+            # Degree counts for w's other neighbours refresh next pass.
+    return changed
+
+
+def _extend_maximal(stream: EdgeStream, status: bytearray) -> int:
+    """Pass-based maximal extension; returns surviving peel count.
+
+    Each round makes one pass and classifies every remaining candidate
+    (undecided or peeled) as *retired* (adjacent to the solution) or
+    *blocked* (adjacent to a smaller-id candidate); unblocked survivors
+    join the solution.  The minimum-id non-retired candidate is always
+    admitted, so every round makes progress and the loop terminates with
+    a maximal solution.
+    """
+    n = stream.n
+    surviving_peels = 0
+    retired = bytearray(n)
+    blocked = bytearray(n)
+    candidate_set = bytearray(n)
+    while True:
+        candidates = [v for v in range(n) if status[v] in (_UNDECIDED, _PEELED)]
+        if not candidates:
+            break
+        for v in range(n):
+            retired[v] = 0
+            blocked[v] = 0
+            candidate_set[v] = 0
+        for v in candidates:
+            candidate_set[v] = 1
+        for u, v in stream.edges():
+            if candidate_set[u] and status[v] == _IN:
+                retired[u] = 1
+            if candidate_set[v] and status[u] == _IN:
+                retired[v] = 1
+            if candidate_set[u] and candidate_set[v]:
+                # Between two candidates, the smaller id has priority.
+                blocked[max(u, v)] = 1
+        for v in candidates:
+            if retired[v]:
+                if status[v] == _PEELED:
+                    surviving_peels += 1
+                status[v] = _OUT
+            elif not blocked[v]:
+                status[v] = _IN
+        # Progress guarantee: the minimum-id candidate is either retired
+        # (solution-adjacent) or unblocked, so the candidate set shrinks.
+    return surviving_peels
+
+
+def _noop() -> None:  # pragma: no cover - placeholder for symmetry
+    return None

@@ -1,0 +1,201 @@
+"""The paper's running-example graphs and other small named instances.
+
+The SIGMOD'17 paper illustrates every algorithm on three small graphs
+(Figures 1, 2 and 5) plus a modified Figure 1 used to motivate the dominance
+reduction, the mutual-dominance gadget of Figure 14, and the four-layer
+family used in the proof of Theorem 3.1 (the Ω(n log n) lower bound for
+BDTwo).  All of them are reconstructed here, 0-indexed (paper vertex ``v1``
+is id ``0``).
+
+The edge sets were derived from the running-example narratives; the test
+suite replays each narrative step by step against these graphs.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .builder import GraphBuilder
+from .static_graph import Graph
+
+__all__ = [
+    "paper_figure1",
+    "paper_figure1_modified",
+    "paper_figure2",
+    "paper_figure5",
+    "mutual_dominance_gadget",
+    "isolated_clique_gadget",
+    "bdtwo_lower_bound_family",
+    "petersen_graph",
+]
+
+
+def paper_figure1() -> Graph:
+    """Figure 1: n = 10, m = 12, α = 5.
+
+    ``{v2, v5, v7, v9}`` is an independent set of size 4 and
+    ``{v1, v4, v6, v8, v10}`` is a maximum independent set of size 5
+    (0-indexed: ``{0, 3, 5, 7, 9}``).  BDOne reaches size 4 on this graph,
+    while BDTwo, LinearTime and NearLinear all reach 5.
+    """
+    edges = [
+        (0, 1), (0, 2),          # v1 - v2, v1 - v3
+        (1, 2), (1, 3),          # v2 - v3, v2 - v4
+        (2, 3),                  # v3 - v4
+        (3, 4), (3, 8),          # v4 - v5, v4 - v9
+        (4, 5), (4, 7),          # v5 - v6, v5 - v8
+        (5, 6), (6, 7),          # v6 - v7, v7 - v8
+        (8, 9),                  # v9 - v10
+    ]
+    return Graph.from_edges(10, edges, name="paper-fig1")
+
+
+def paper_figure1_modified() -> Graph:
+    """The Section-1 dominance example: Figure 1 minus v10, plus v9-edges.
+
+    Remove ``v10`` and connect ``v9`` to ``v1, v5, v6, v7, v8``.  Minimum
+    degree becomes 3, so no degree-one/two rule applies, yet ``v5``
+    dominates ``v9`` and the dominance reduction unlocks the graph for
+    LinearTime.  Vertices keep their Figure-1 ids (0-indexed, no v10).
+    """
+    base = [(u, v) for (u, v) in paper_figure1().edges() if 9 not in (u, v)]
+    extra = [(8, 0), (8, 4), (8, 5), (8, 6), (8, 7)]
+    return Graph.from_edges(9, base + extra, name="paper-fig1-modified")
+
+
+def paper_figure2() -> Graph:
+    """Figure 2: n = 6, m = 8, α = 3.
+
+    ``{v2, v6}`` is a maximal independent set, ``{v1, v3, v4}`` is a maximum
+    independent set (0-indexed ``{0, 2, 3}``).  Every vertex except ``v1``
+    has degree ≥ 3 initially, matching the BDTwo initialisation narrative.
+    """
+    edges = [
+        (0, 1),                  # v1 - v2
+        (1, 2), (1, 3),          # v2 - v3, v2 - v4
+        (2, 4), (2, 5),          # v3 - v5, v3 - v6
+        (3, 4), (3, 5),          # v4 - v5, v4 - v6
+        (4, 5),                  # v5 - v6
+    ]
+    return Graph.from_edges(6, edges, name="paper-fig2")
+
+
+def paper_figure5() -> Graph:
+    """Figure 5: n = 10, m = 13, α = 4.
+
+    The LinearTime running example: the path ``(v1, v2, v3)`` has both
+    endpoints attached to ``v4`` (case v = w), then ``(v5, v6)`` is an even
+    path whose reduction rewires ``v10 – v7``, turning ``{v7, v8, v9, v10}``
+    into a 4-clique.  LinearTime obtains ``{v1, v3, v6, v10}`` -shaped
+    solutions of size 4.
+    """
+    edges = [
+        (0, 1), (1, 2),          # v1 - v2 - v3
+        (0, 3), (2, 3),          # v1 - v4, v3 - v4
+        (3, 4),                  # v4 - v5
+        (4, 5), (4, 9),          # v5 - v6, v5 - v10
+        (5, 6),                  # v6 - v7
+        (6, 7), (6, 8),          # v7 - v8, v7 - v9
+        (7, 8), (7, 9), (8, 9),  # v8 - v9, v8 - v10, v9 - v10
+    ]
+    return Graph.from_edges(10, edges, name="paper-fig5")
+
+
+def mutual_dominance_gadget() -> Graph:
+    """Figure 14: two vertices that dominate each other.
+
+    Vertices 0 and 1 are adjacent and share the neighbours {2, 3}; vertices
+    2 and 3 each have one private pendant neighbour (4 and 5).  Then 0
+    dominates 1 and 1 dominates 0, and after removing either of them the
+    survivor is no longer dominated — the re-check in Algorithm 5 Line 8
+    exists precisely for this situation.
+    """
+    edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 4), (3, 5)]
+    return Graph.from_edges(6, edges, name="mutual-dominance")
+
+
+def isolated_clique_gadget(clique_size: int, pendants_per_vertex: int = 1) -> Graph:
+    """An isolated-vertex-reduction gadget (paper Figure 13(a)).
+
+    Vertex 0 together with vertices ``1 .. clique_size - 1`` forms a clique;
+    every clique vertex other than 0 additionally receives
+    ``pendants_per_vertex`` private pendant neighbours.  Vertex 0 then
+    satisfies the isolated vertex reduction, and (per Section A.3) it
+    dominates each of its neighbours.
+    """
+    if clique_size < 2:
+        raise GraphError("clique_size must be at least 2")
+    builder = GraphBuilder(clique_size, name=f"isolated-clique({clique_size})")
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            builder.add_edge(u, v)
+    for u in range(1, clique_size):
+        for _ in range(pendants_per_vertex):
+            w = builder.add_vertex()
+            builder.add_edge(u, w)
+    return builder.build()
+
+
+def bdtwo_lower_bound_family(levels: int) -> Graph:
+    """The four-layer family from the proof of Theorem 3.1.
+
+    With ``n = 2 ** levels`` third-layer vertices, BDTwo performs
+    Θ(n log n) work through cascading degree-two foldings while the graph
+    has only Θ(n) edges.  Layers (0-indexed ids, in order):
+
+    * layer 1 — two hub vertices, completely joined to layer 2;
+    * layer 2 — ``2n`` vertices, ``w_{2i-1}, w_{2i}`` attached to ``v_i``;
+    * layer 3 — ``v_1 .. v_n``, the vertices that get folded together;
+    * layer 4 — folding triggers: round 1 has ``n/2`` degree-2 vertices
+      (the k-th adjacent to ``v_{2k-1}, v_{2k}``), and round ``i ≥ 2`` has
+      ``n / 2^i`` degree-3 vertices whose three layer-3 endpoints collapse
+      to exactly two supervertices after round ``i - 1``.
+    """
+    if levels < 1:
+        raise GraphError("levels must be at least 1")
+    n = 1 << levels
+    builder = GraphBuilder(2 + 2 * n + n, name=f"bdtwo-lb({levels})")
+    hub_a, hub_b = 0, 1
+
+    def w_id(j: int) -> int:  # j in 1 .. 2n
+        return 1 + j
+
+    def v_id(i: int) -> int:  # i in 1 .. n
+        return 1 + 2 * n + i
+
+    for j in range(1, 2 * n + 1):
+        builder.add_edge(hub_a, w_id(j))
+        builder.add_edge(hub_b, w_id(j))
+    for i in range(1, n + 1):
+        builder.add_edge(v_id(i), w_id(2 * i - 1))
+        builder.add_edge(v_id(i), w_id(2 * i))
+    # Round 1 triggers: degree-two vertices folding (v_{2k-1}, v_{2k}).
+    for k in range(1, n // 2 + 1):
+        u = builder.add_vertex()
+        builder.add_edge(u, v_id(2 * k - 1))
+        builder.add_edge(u, v_id(2 * k))
+    # Rounds 2 .. levels: degree-three triggers.  For the block of originals
+    # starting at s with width 2^i, the trigger attaches to the (eventual)
+    # representative of the left quarter, of the left half, and of the whole
+    # right half: {s + 2^(i-2) - 1, s + 2^(i-1) - 1, s + 2^i - 1} (1-indexed).
+    for i in range(2, levels + 1):
+        width = 1 << i
+        for k in range(n // width):
+            s = k * width + 1
+            u = builder.add_vertex()
+            builder.add_edge(u, v_id(s + (width >> 2) - 1))
+            builder.add_edge(u, v_id(s + (width >> 1) - 1))
+            builder.add_edge(u, v_id(s + width - 1))
+    return builder.build()
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph (n = 10, 3-regular, α = 4).
+
+    A classic vertex-transitive instance with no low-degree vertices at all:
+    every reducing-peeling run must peel at least once, which makes it a
+    good exactness-certificate negative test.
+    """
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return Graph.from_edges(10, outer + inner + spokes, name="petersen")

@@ -1,0 +1,209 @@
+"""Immutable adjacency-array graph — the paper's 2m + n representation.
+
+The paper (Section 2, "Graph Representation") stores every neighbourhood
+consecutively in one large array with a per-vertex start pointer, i.e. a CSR
+layout using ``2m + n`` integers.  :class:`Graph` mirrors that layout with two
+flat lists (``_offsets`` of length ``n + 1`` and ``_targets`` of length
+``2m``), which keeps the memory model honest for the paper's space accounting
+(see :mod:`repro.analysis.memory`) and makes neighbourhood iteration cheap.
+
+Graphs are simple (no self-loops, no parallel edges) and undirected; every
+edge ``(u, v)`` appears in both ``neighbors(u)`` and ``neighbors(v)``.
+Instances are immutable: all mutation happens either in
+:class:`repro.graphs.builder.GraphBuilder` (construction time) or inside the
+per-algorithm workspaces (run time).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from ..errors import VertexError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An immutable, simple, undirected graph in adjacency-array form.
+
+    Parameters
+    ----------
+    offsets:
+        CSR row pointers; ``offsets[v] .. offsets[v + 1]`` delimits the
+        neighbourhood of vertex ``v``.  Length ``n + 1``.
+    targets:
+        Concatenated neighbour lists, each sorted ascending.  Length ``2m``.
+    name:
+        Optional human-readable name used in reports and benchmarks.
+
+    Use :class:`repro.graphs.builder.GraphBuilder` or
+    :meth:`Graph.from_edges` instead of calling this constructor directly;
+    both validate and normalise their input, the constructor trusts it.
+    """
+
+    __slots__ = ("_offsets", "_targets", "name")
+
+    def __init__(self, offsets: Sequence[int], targets: Sequence[int], name: str = "") -> None:
+        self._offsets: Tuple[int, ...] = tuple(offsets)
+        self._targets: Tuple[int, ...] = tuple(targets)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]], name: str = "") -> "Graph":
+        """Build a graph on ``n`` vertices from an iterable of edges.
+
+        Self-loops and duplicate edges are silently dropped, matching the
+        usual clean-up applied to raw SNAP edge lists.  Vertex ids must lie
+        in ``[0, n)``.
+        """
+        # Import here to avoid a circular import at module load time.
+        from .builder import GraphBuilder
+
+        builder = GraphBuilder(n, name=name)
+        for u, v in edges:
+            builder.add_edge(u, v)
+        return builder.build()
+
+    @classmethod
+    def empty(cls, n: int, name: str = "") -> "Graph":
+        """Return the edgeless graph on ``n`` vertices."""
+        return cls([0] * (n + 1), [], name=name)
+
+    def renamed(self, name: str) -> "Graph":
+        """A copy of this graph carrying a different display name."""
+        return Graph(self._offsets, self._targets, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self._offsets) - 1
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return len(self._targets) // 2
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        self._check_vertex(v)
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def degrees(self) -> list[int]:
+        """Degrees of all vertices, indexed by vertex id."""
+        offs = self._offsets
+        return [offs[v + 1] - offs[v] for v in range(self.n)]
+
+    def max_degree(self) -> int:
+        """Maximum vertex degree Δ (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return max(self.degrees())
+
+    def average_degree(self) -> float:
+        """Average degree 2m / n (0.0 for the empty graph)."""
+        if self.n == 0:
+            return 0.0
+        return 2.0 * self.m / self.n
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The sorted neighbourhood N(v) as a tuple."""
+        self._check_vertex(v)
+        return self._targets[self._offsets[v] : self._offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``(u, v)`` is present (binary search, O(log d))."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        lo, hi = self._offsets[u], self._offsets[u + 1]
+        if hi - lo > self._offsets[v + 1] - self._offsets[v]:
+            # Search the smaller neighbourhood.
+            u, v = v, u
+            lo, hi = self._offsets[u], self._offsets[u + 1]
+        idx = bisect_left(self._targets, v, lo, hi)
+        return idx < hi and self._targets[idx] == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over undirected edges once each, as ``(u, v)`` with u < v."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield (u, v)
+
+    def vertices(self) -> range:
+        """The vertex id range ``0 .. n-1``."""
+        return range(self.n)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Iterable[int]) -> Tuple["Graph", list[int]]:
+        """Induced subgraph on ``keep``.
+
+        Returns ``(subgraph, old_ids)`` where ``old_ids[new_id]`` maps the
+        compacted vertex ids of the subgraph back to this graph's ids.
+        """
+        old_ids = sorted(set(keep))
+        for v in old_ids:
+            self._check_vertex(v)
+        new_id = {old: new for new, old in enumerate(old_ids)}
+        offsets = [0]
+        targets: list[int] = []
+        for old in old_ids:
+            row = [new_id[w] for w in self.neighbors(old) if w in new_id]
+            targets.extend(row)
+            offsets.append(len(targets))
+        sub = Graph(offsets, targets, name=f"{self.name}[{len(old_ids)}]" if self.name else "")
+        return sub, old_ids
+
+    def complement(self) -> "Graph":
+        """The complement graph (dense; intended for small graphs only)."""
+        offsets = [0]
+        targets: list[int] = []
+        for u in range(self.n):
+            nbrs = set(self.neighbors(u))
+            row = [v for v in range(self.n) if v != u and v not in nbrs]
+            targets.extend(row)
+            offsets.append(len(targets))
+        return Graph(offsets, targets, name=f"~{self.name}" if self.name else "")
+
+    def csr_arrays(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """The raw CSR arrays ``(offsets, targets)`` (read-only tuples).
+
+        Exposed for numeric backends (e.g. building a ``scipy.sparse``
+        matrix without re-walking the adjacency).
+        """
+        return self._offsets, self._targets
+
+    def adjacency_lists(self) -> list[list[int]]:
+        """A fresh mutable list-of-lists copy of the adjacency structure."""
+        return [list(self.neighbors(v)) for v in range(self.n)]
+
+    def adjacency_sets(self) -> list[set[int]]:
+        """A fresh mutable list-of-sets copy of the adjacency structure."""
+        return [set(self.neighbors(v)) for v in range(self.n)]
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._offsets == other._offsets and self._targets == other._targets
+
+    def __hash__(self) -> int:
+        return hash((self._offsets, self._targets))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label} n={self.n} m={self.m}>"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise VertexError(v, self.n)

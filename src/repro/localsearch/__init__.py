@@ -1,0 +1,15 @@
+"""Iterated local search: ARW and its kernel-boosted variants."""
+
+from .arw import LocalSearchState, arw
+from .boosted import BoostedResult, arw_lt, arw_nl, boosted_arw
+from .events import ConvergenceRecorder
+
+__all__ = [
+    "BoostedResult",
+    "ConvergenceRecorder",
+    "LocalSearchState",
+    "arw",
+    "arw_lt",
+    "arw_nl",
+    "boosted_arw",
+]

@@ -1,0 +1,196 @@
+"""The ARW iterated local search (Andrade–Resende–Werneck [2], Section A.5).
+
+Given an initial independent set, ARW alternates
+
+* a **local search** step that exhausts (1,2)-swaps: a solution vertex
+  ``x`` is traded for two of its non-adjacent *1-tight* neighbours
+  (non-solution vertices whose only solution neighbour is ``x``), growing
+  the solution by one; and
+* a **perturbation** step that forces ``f`` random outside vertices into
+  the solution (``f = i + 1`` with probability ``1/2^i``), evicting their
+  solution neighbours, with priority to vertices that have been outside
+  the solution longest.
+
+The tightness counters make insertions/deletions O(d(v)); the swap scan
+finds a valid (1,2)-swap in O(m) per round, following [2].
+
+:func:`arw` drives the loop under a time budget and reports every
+improvement through a :class:`~repro.localsearch.events.ConvergenceRecorder`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..errors import NotASolutionError
+from ..graphs.static_graph import Graph
+from .events import ConvergenceRecorder
+
+__all__ = ["LocalSearchState", "arw"]
+
+
+class LocalSearchState:
+    """Solution + tightness bookkeeping for (1,2)-swap local search."""
+
+    __slots__ = ("graph", "in_solution", "tightness", "size", "_last_outside")
+
+    def __init__(self, graph: Graph, initial: Iterable[int]) -> None:
+        self.graph = graph
+        self.in_solution = bytearray(graph.n)
+        self.tightness = [0] * graph.n
+        self.size = 0
+        # Perturbation priority: iteration at which a vertex last left the
+        # solution (0 = never been inside).
+        self._last_outside = [0] * graph.n
+        for v in initial:
+            self.insert(v)
+
+    # ------------------------------------------------------------------
+    # Elementary moves
+    # ------------------------------------------------------------------
+    def insert(self, v: int) -> None:
+        """Add ``v`` to the solution (caller guarantees independence)."""
+        if self.in_solution[v]:
+            return
+        if self.tightness[v]:
+            raise NotASolutionError(f"vertex {v} has a solution neighbour")
+        self.in_solution[v] = 1
+        self.size += 1
+        for w in self.graph.neighbors(v):
+            self.tightness[w] += 1
+
+    def remove(self, v: int, clock: int = 0) -> None:
+        """Remove ``v`` from the solution."""
+        if not self.in_solution[v]:
+            return
+        self.in_solution[v] = 0
+        self.size -= 1
+        self._last_outside[v] = clock
+        for w in self.graph.neighbors(v):
+            self.tightness[w] -= 1
+
+    def force_insert(self, v: int, clock: int = 0) -> None:
+        """Insert ``v``, evicting its solution neighbours (perturbation)."""
+        if self.in_solution[v]:
+            return
+        for w in self.graph.neighbors(v):
+            if self.in_solution[w]:
+                self.remove(w, clock)
+        self.insert(v)
+
+    def solution(self) -> Set[int]:
+        """The current solution as a set."""
+        return {v for v in range(self.graph.n) if self.in_solution[v]}
+
+    # ------------------------------------------------------------------
+    # Moves of the ARW neighbourhood
+    # ------------------------------------------------------------------
+    def one_tight_neighbors(self, x: int) -> List[int]:
+        """Non-solution neighbours of solution vertex ``x`` blocked only
+        by ``x`` itself."""
+        return [
+            w
+            for w in self.graph.neighbors(x)
+            if not self.in_solution[w] and self.tightness[w] == 1
+        ]
+
+    def find_one_two_swap(self, x: int) -> Optional[Tuple[int, int]]:
+        """A pair of non-adjacent 1-tight neighbours of ``x``, if any."""
+        candidates = self.one_tight_neighbors(x)
+        if len(candidates) < 2:
+            return None
+        candidate_set = set(candidates)
+        for i, u in enumerate(candidates):
+            u_neighbours = set(self.graph.neighbors(u))
+            for w in candidates[i + 1 :]:
+                if w not in u_neighbours:
+                    return u, w
+            # Every other candidate is adjacent to u: u cannot pair up,
+            # but later candidates might pair among themselves.
+            candidate_set.discard(u)
+        return None
+
+    def apply_one_two_swap(self, x: int, u: int, w: int) -> None:
+        """Execute the swap: drop ``x``, insert ``u`` and ``w``."""
+        self.remove(x)
+        self.insert(u)
+        self.insert(w)
+
+    def local_search(self) -> int:
+        """Exhaust (1,2)-swaps plus free insertions; returns improvement.
+
+        Repeatedly scans solution vertices for a valid swap and inserts
+        any 0-tight vertex on the way, until a full pass finds nothing.
+        """
+        gained = 0
+        improved = True
+        while improved:
+            improved = False
+            for v in range(self.graph.n):
+                if not self.in_solution[v] and self.tightness[v] == 0:
+                    self.insert(v)
+                    gained += 1
+                    improved = True
+            for x in range(self.graph.n):
+                if not self.in_solution[x]:
+                    continue
+                swap = self.find_one_two_swap(x)
+                if swap is not None:
+                    self.apply_one_two_swap(x, *swap)
+                    gained += 1
+                    improved = True
+        return gained
+
+
+def _perturbation_strength(rng: random.Random) -> int:
+    """f = i + 1 with probability 1/2^i (Section A.5)."""
+    strength = 1
+    while rng.random() < 0.5:
+        strength += 1
+    return strength
+
+
+def arw(
+    graph: Graph,
+    initial: Iterable[int],
+    time_budget: float = 1.0,
+    seed: int = 0,
+    recorder: Optional[ConvergenceRecorder] = None,
+    max_iterations: Optional[int] = None,
+) -> Tuple[Set[int], ConvergenceRecorder]:
+    """Iterated local search from ``initial`` under a wall-clock budget.
+
+    Returns ``(best_solution, recorder)``; the recorder holds the
+    ``(t, |I|)`` improvement events.  Deterministic given ``seed`` up to
+    wall-clock dependent iteration counts (pass ``max_iterations`` for
+    fully reproducible runs).
+    """
+    rng = random.Random(seed)
+    state = LocalSearchState(graph, initial)
+    if recorder is None:
+        recorder = ConvergenceRecorder()
+    state.local_search()
+    best = state.solution()
+    recorder.record(len(best))
+    iteration = 0
+    while recorder.elapsed < time_budget:
+        iteration += 1
+        if max_iterations is not None and iteration > max_iterations:
+            break
+        # Perturb: force in the f outside vertices least recently inside.
+        strength = _perturbation_strength(rng)
+        outside = [v for v in range(graph.n) if not state.in_solution[v]]
+        if not outside:
+            break
+        outside.sort(key=lambda v: (state._last_outside[v], rng.random()))
+        for v in outside[:strength]:
+            state.force_insert(v, clock=iteration)
+        state.local_search()
+        if state.size > len(best):
+            best = state.solution()
+            recorder.record(len(best))
+        elif state.size < len(best) - 2:
+            # Drifted too far down: restart from the best solution found.
+            state = LocalSearchState(graph, best)
+    return best, recorder

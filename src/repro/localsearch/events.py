@@ -1,0 +1,65 @@
+"""Convergence recording for the iterated local-search experiments.
+
+Eval-IV (Figures 10 and 15) plots, for every algorithm, the tuples
+``(t, |I|)`` emitted whenever a new larger independent set is found.
+:class:`ConvergenceRecorder` collects exactly those tuples against a shared
+wall clock, and knows how to answer the questions the paper asks of the
+plots (size at a time budget, time to reach a size).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["ConvergenceRecorder"]
+
+
+class ConvergenceRecorder:
+    """Collects ``(elapsed_seconds, size)`` improvement events."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+        self.events: List[Tuple[float, int]] = []
+
+    def restart(self) -> None:
+        """Reset the clock and clear recorded events."""
+        self._start = time.perf_counter()
+        self.events = []
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the recorder (re)started."""
+        return time.perf_counter() - self._start
+
+    def record(self, size: int) -> None:
+        """Record a new solution size if it improves on the last event."""
+        if not self.events or size > self.events[-1][1]:
+            self.events.append((self.elapsed, size))
+
+    @property
+    def best_size(self) -> int:
+        """The largest size recorded so far (0 if none)."""
+        return self.events[-1][1] if self.events else 0
+
+    @property
+    def first_event(self) -> Optional[Tuple[float, int]]:
+        """The first reported solution, or ``None``."""
+        return self.events[0] if self.events else None
+
+    def size_at(self, budget: float) -> int:
+        """The best size achieved within ``budget`` seconds."""
+        best = 0
+        for t, size in self.events:
+            if t <= budget:
+                best = size
+            else:
+                break
+        return best
+
+    def time_to_reach(self, target: int) -> Optional[float]:
+        """When ``target`` was first reached, or ``None`` if never."""
+        for t, size in self.events:
+            if size >= target:
+                return t
+        return None

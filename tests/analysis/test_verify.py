@@ -1,0 +1,83 @@
+"""Tests for solution verification helpers."""
+
+import pytest
+
+from repro.analysis import (
+    assert_valid_solution,
+    complement_vertex_cover,
+    greedy_maximal_extension,
+    is_independent_set,
+    is_maximal_independent_set,
+    is_vertex_cover,
+)
+from repro.errors import NotASolutionError
+from repro.graphs import cycle_graph, paper_figure1, path_graph, star_graph
+
+
+class TestIndependence:
+    def test_empty_set_is_independent(self):
+        assert is_independent_set(path_graph(3), set())
+
+    def test_adjacent_pair_is_not(self):
+        assert not is_independent_set(path_graph(3), {0, 1})
+
+    def test_out_of_range_vertex_is_invalid(self):
+        assert not is_independent_set(path_graph(3), {5})
+
+    def test_paper_example(self):
+        g = paper_figure1()
+        assert is_independent_set(g, {1, 4, 6, 8})
+        assert not is_independent_set(g, {0, 1})
+
+
+class TestMaximality:
+    def test_maximal(self):
+        assert is_maximal_independent_set(cycle_graph(4), {0, 2})
+
+    def test_not_maximal(self):
+        assert not is_maximal_independent_set(cycle_graph(4), {0})
+
+    def test_invalid_set_is_not_maximal(self):
+        assert not is_maximal_independent_set(cycle_graph(4), {0, 1})
+
+
+class TestVertexCover:
+    def test_cover(self):
+        assert is_vertex_cover(star_graph(5), {0})
+
+    def test_non_cover(self):
+        assert not is_vertex_cover(path_graph(3), {0})
+
+    def test_complement_relation(self):
+        g = paper_figure1()
+        cover = complement_vertex_cover(g, {0, 3, 5, 7, 9})
+        assert cover == {1, 2, 4, 6, 8}
+        assert is_vertex_cover(g, cover)
+
+    def test_complement_rejects_invalid_input(self):
+        with pytest.raises(NotASolutionError):
+            complement_vertex_cover(path_graph(3), {0, 1})
+
+
+class TestAssertAndExtend:
+    def test_assert_passes(self):
+        assert_valid_solution(cycle_graph(4), {0, 2})
+
+    def test_assert_raises_on_dependence(self):
+        with pytest.raises(NotASolutionError):
+            assert_valid_solution(path_graph(2), {0, 1})
+
+    def test_assert_raises_on_non_maximal(self):
+        with pytest.raises(NotASolutionError):
+            assert_valid_solution(path_graph(5), {1}, maximal=True)
+
+    def test_extension_reaches_maximality(self):
+        g = path_graph(7)
+        extended = greedy_maximal_extension(g, {3})
+        assert is_maximal_independent_set(g, extended)
+        assert 3 in extended
+
+    def test_extension_of_empty(self):
+        g = cycle_graph(6)
+        extended = greedy_maximal_extension(g, set())
+        assert is_maximal_independent_set(g, extended)

@@ -1,0 +1,42 @@
+"""Tests for the Eval-IV convergence harness."""
+
+from repro.bench import render_convergence, run_convergence_suite
+from repro.bench.convergence import ConvergenceRun
+from repro.graphs import gnm_random_graph, path_graph
+
+
+class TestConvergenceRun:
+    def test_properties(self):
+        run = ConvergenceRun("ARW", ((0.1, 10), (0.4, 12)))
+        assert run.first_size == 10
+        assert run.first_time == 0.1
+        assert run.final_size == 12
+
+    def test_empty_run(self):
+        run = ConvergenceRun("ARW", ())
+        assert run.final_size == 0
+        assert run.first_size == 0
+        assert run.first_time == float("inf")
+
+
+class TestSuite:
+    def test_all_five_contenders(self):
+        g = gnm_random_graph(150, 450, seed=5)
+        runs = run_convergence_suite(g, time_budget=0.1, seed=1)
+        assert set(runs) == {"ARW", "OnlineMIS", "ReduMIS", "ARW-LT", "ARW-NL"}
+
+    def test_events_at_full_graph_scale(self):
+        # Mostly-reducible graph: every contender's final size must be in
+        # the same ballpark (full-graph scale, not kernel scale).
+        g = path_graph(400)
+        runs = run_convergence_suite(g, time_budget=0.1, seed=2)
+        for run in runs.values():
+            assert run.final_size >= 150  # alpha = 200
+
+    def test_render_contains_all_names(self):
+        g = gnm_random_graph(100, 250, seed=8)
+        runs = run_convergence_suite(g, time_budget=0.05, seed=3)
+        text = render_convergence("demo", runs)
+        for name in ("ARW", "OnlineMIS", "ReduMIS", "ARW-LT", "ARW-NL"):
+            assert name in text
+        assert "demo" in text

@@ -1,0 +1,102 @@
+"""Tests for the lazy bin-sort degree selectors."""
+
+from repro.core.bucket_queue import MaxDegreeSelector, MinDegreeSelector
+
+
+class TestMaxDegreeSelector:
+    def test_pops_maximum_first(self):
+        degrees = [3, 1, 4, 1, 5]
+        alive = bytearray([1] * 5)
+        selector = MaxDegreeSelector(degrees, alive)
+        assert selector.pop_max() == 4
+        assert selector.pop_max() == 2
+
+    def test_skips_dead_vertices(self):
+        degrees = [3, 5]
+        alive = bytearray([1, 0])
+        selector = MaxDegreeSelector(degrees, alive)
+        assert selector.pop_max() == 0
+
+    def test_lazy_relocation_on_decreased_degree(self):
+        degrees = [5, 4]
+        alive = bytearray([1, 1])
+        selector = MaxDegreeSelector(degrees, alive)
+        degrees[0] = 2  # decreased after construction
+        assert selector.pop_max() == 1  # 4 beats the relocated 2
+        assert selector.pop_max() == 0
+
+    def test_returns_none_when_exhausted(self):
+        degrees = [1]
+        alive = bytearray([1])
+        selector = MaxDegreeSelector(degrees, alive)
+        alive[0] = 0
+        assert selector.pop_max() is None
+
+    def test_degree_zero_never_returned(self):
+        degrees = [0, 0]
+        alive = bytearray([1, 1])
+        selector = MaxDegreeSelector(degrees, alive)
+        assert selector.pop_max() is None
+
+    def test_notify_increase_raises_pointer(self):
+        degrees = [2, 2]
+        alive = bytearray([1, 1])
+        selector = MaxDegreeSelector(degrees, alive)
+        assert selector.pop_max() in (0, 1)
+        degrees[0] = 7  # contraction grew the degree
+        selector.notify_increase(0)
+        assert selector.pop_max() == 0
+
+    def test_empty_graph(self):
+        selector = MaxDegreeSelector([], bytearray())
+        assert selector.pop_max() is None
+
+    def test_drain_matches_sorted_order(self):
+        degrees = [4, 2, 7, 7, 1, 3]
+        alive = bytearray([1] * 6)
+        selector = MaxDegreeSelector(list(degrees), alive)
+        seen = []
+        while True:
+            v = selector.pop_max()
+            if v is None:
+                break
+            alive[v] = 0
+            seen.append(degrees[v])
+        assert seen == sorted([d for d in degrees if d > 0], reverse=True)
+
+
+class TestMinDegreeSelector:
+    def test_pops_minimum_first(self):
+        degrees = [3, 1, 4]
+        alive = bytearray([1] * 3)
+        selector = MinDegreeSelector(degrees, alive)
+        assert selector.pop_min() == 1
+
+    def test_includes_degree_zero(self):
+        degrees = [0, 2]
+        alive = bytearray([1, 1])
+        selector = MinDegreeSelector(degrees, alive)
+        assert selector.pop_min() == 0
+
+    def test_notify_decrease_lowers_pointer(self):
+        degrees = [3, 3]
+        alive = bytearray([1, 1])
+        selector = MinDegreeSelector(degrees, alive)
+        first = selector.pop_min()
+        alive[first] = 0
+        other = 1 - first
+        degrees[other] = 1
+        selector.notify_decrease(other)
+        assert selector.pop_min() == other
+
+    def test_stale_entries_skipped(self):
+        degrees = [2, 3]
+        alive = bytearray([1, 1])
+        selector = MinDegreeSelector(degrees, alive)
+        degrees[1] = 1
+        selector.notify_decrease(1)
+        assert selector.pop_min() == 1
+        alive[1] = 0
+        assert selector.pop_min() == 0
+        alive[0] = 0
+        assert selector.pop_min() is None

@@ -1,0 +1,156 @@
+"""Tests for NearLinear's triangle-count workspace and dominance machinery."""
+
+import pytest
+
+from repro.core.dominance import TriangleWorkspace, one_pass_dominance
+from repro.core.near_linear import near_linear
+from repro.exact import brute_force_alpha
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    isolated_clique_gadget,
+    mutual_dominance_gadget,
+    paper_figure1_modified,
+    petersen_graph,
+    triangle_counts,
+)
+
+
+def _assert_triangle_counts_consistent(workspace):
+    """The workspace's δ must match a recount on the live residual graph."""
+    kernel, old_ids = workspace.export_kernel()
+    recounted = triangle_counts(kernel)
+    new_of = {old: new for new, old in enumerate(old_ids)}
+    for u in range(workspace.n):
+        if not workspace.alive[u]:
+            continue
+        for v, count in workspace.tri[u].items():
+            a, b = new_of[u], new_of[v]
+            key = (a, b) if a < b else (b, a)
+            assert recounted[key] == count, (u, v)
+
+
+class TestInitialTriangleCounts:
+    def test_k4(self):
+        ws = TriangleWorkspace(complete_graph(4))
+        assert all(c == 2 for row in ws.tri for c in row.values())
+
+    def test_triangle_free(self):
+        ws = TriangleWorkspace(petersen_graph())
+        assert all(c == 0 for row in ws.tri for c in row.values())
+
+    def test_matches_reference_counter(self):
+        g = gnm_random_graph(30, 90, seed=5)
+        ws = TriangleWorkspace(g)
+        reference = triangle_counts(g)
+        for (u, v), count in reference.items():
+            assert ws.tri[u][v] == count
+            assert ws.tri[v][u] == count
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scipy_and_python_backends_agree(self, seed):
+        g = gnm_random_graph(35, 140, seed=seed)
+        fast = TriangleWorkspace(g)  # scipy path when available
+        slow = TriangleWorkspace.__new__(TriangleWorkspace)
+        slow.graph = g
+        slow.n = g.n
+        slow.tri = [dict.fromkeys(g.neighbors(v), 0) for v in range(g.n)]
+        slow.deg = g.degrees()
+        slow._count_triangles_python()
+        assert fast.tri == slow.tri
+
+
+class TestMaintenanceUnderDeletion:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_deletions_preserve_counts(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = gnm_random_graph(18, 50, seed=seed)
+        ws = TriangleWorkspace(g)
+        victims = rng.sample(range(g.n), 6)
+        for v in victims:
+            if ws.alive[v]:
+                ws.delete_vertex(v, "exclude")
+        _assert_triangle_counts_consistent(ws)
+
+    def test_dominance_detection_via_counts(self):
+        g = isolated_clique_gadget(4)
+        ws = TriangleWorkspace(g)
+        # Vertex 0 dominates its clique neighbours: they must be on the
+        # candidate list and verified on pop.
+        dominated = set()
+        while True:
+            u = ws.pop_dominated()
+            if u is None:
+                break
+            dominated.add(u)
+            ws.delete_vertex(u, "exclude")
+        assert dominated  # at least one clique member removed
+
+    def test_mutual_dominance_recheck(self):
+        # 0 and 1 dominate each other; once one is removed the other no
+        # longer verifies — the re-check of Algorithm 5 Line 8.
+        g = mutual_dominance_gadget()
+        ws = TriangleWorkspace(g)
+        assert ws.is_dominated(0)
+        assert ws.is_dominated(1)
+        ws.delete_vertex(0, "exclude")
+        assert not ws.is_dominated(1)
+
+
+class TestOnePassDominance:
+    def test_clique_gadget_collapses(self):
+        g = isolated_clique_gadget(5, pendants_per_vertex=1)
+        removed = one_pass_dominance(g)
+        assert len(removed) >= 3
+
+    def test_triangle_free_untouched_except_pendants(self):
+        g = petersen_graph()
+        assert one_pass_dominance(g) == []
+
+    def test_preserves_alpha(self):
+        for seed in range(20):
+            g = gnm_random_graph(14, 30, seed=seed)
+            removed = one_pass_dominance(g)
+            survivors = sorted(set(range(g.n)) - set(removed))
+            sub, _ = g.subgraph(survivors)
+            assert brute_force_alpha(sub) == brute_force_alpha(g)
+
+
+class TestNearLinearPhases:
+    def test_preprocess_toggle(self):
+        g = paper_figure1_modified()
+        with_prep = near_linear(g, preprocess=True)
+        without_prep = near_linear(g, preprocess=False)
+        alpha = brute_force_alpha(g)
+        assert with_prep.size == alpha
+        assert without_prep.size == alpha
+        # The main loop's incremental dominance must certify on its own.
+        assert without_prep.is_exact
+
+    def test_cycle_paths_inside_triangle_workspace(self):
+        # Degree-two cycles exercise the path driver on TriangleWorkspace.
+        result = near_linear(cycle_graph(11), preprocess=False)
+        assert result.is_exact
+        assert result.size == 5
+
+    def test_even_no_edge_rewiring_with_triangles(self):
+        # Two anchors sharing a common neighbour: the rewired (v, w) edge
+        # must pick up δ = 1 and stay consistent.
+        edges = [
+            (0, 1), (1, 2),          # the degree-two path (1, 2)... anchors 0, 3
+            (2, 3),
+            (0, 4), (3, 4),          # common neighbour 4 -> future triangle
+            (0, 5), (0, 6), (3, 7), (3, 8),  # degree padding
+        ]
+        g = Graph.from_edges(9, edges)
+        ws = TriangleWorkspace(g)
+        from repro.core.degree_two_paths import apply_degree_two_path_reduction
+
+        rule = apply_degree_two_path_reduction(ws, 1)
+        assert rule == "path:even-no-edge"
+        assert ws.tri[0][3] == 1  # triangle (0, 3, 4)
+        _assert_triangle_counts_consistent(ws)

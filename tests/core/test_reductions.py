@@ -1,0 +1,278 @@
+"""Tests for the stand-alone exact reduction rules.
+
+Each rule's α-arithmetic is validated against brute force on both crafted
+and randomized instances.
+"""
+
+import pytest
+
+from repro.core.reductions import (
+    find_dominated_vertex,
+    find_twin_pair,
+    find_unconfined_vertex,
+    is_dominated_by,
+    is_unconfined,
+    reduce_degree_one,
+    reduce_degree_two_folding,
+    reduce_degree_two_isolation,
+    reduce_dominance,
+    reduce_twin,
+    reduce_unconfined,
+)
+from repro.errors import GraphError
+from repro.exact import brute_force_alpha
+from repro.graphs import (
+    Graph,
+    gnm_random_graph,
+    isolated_clique_gadget,
+    mutual_dominance_gadget,
+    paper_figure1,
+    path_graph,
+    star_graph,
+)
+
+
+class TestDegreeOne:
+    def test_on_path(self):
+        g = path_graph(4)
+        application = reduce_degree_one(g, 0)
+        assert application.alpha_offset == 1
+        assert application.reduced.n == 2
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced) + 1
+
+    def test_requires_degree_one(self):
+        with pytest.raises(GraphError):
+            reduce_degree_one(path_graph(3), 1)
+
+    def test_star_center_removed(self):
+        g = star_graph(3)
+        application = reduce_degree_one(g, 1)
+        # Removing the centre isolates the other leaves.
+        assert application.reduced.m == 0
+        assert application.reduced.n == 2
+
+
+class TestIsolation:
+    def test_on_triangle_with_tail(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4)])
+        application = reduce_degree_two_isolation(g, 0)
+        assert application.alpha_offset == 1
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced) + 1
+
+    def test_requires_adjacent_neighbors(self):
+        with pytest.raises(GraphError):
+            reduce_degree_two_isolation(path_graph(3), 1)
+
+    def test_requires_degree_two(self):
+        with pytest.raises(GraphError):
+            reduce_degree_two_isolation(path_graph(3), 0)
+
+
+class TestFolding:
+    def test_on_path_middle(self):
+        g = path_graph(5)
+        application = reduce_degree_two_folding(g, 2)
+        assert application.alpha_offset == 1
+        assert application.fold_record == (2, 1, 3)
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced) + 1
+
+    def test_supervertex_absorbs_neighbourhoods(self):
+        # 0-1-2 path with 0 and 2 each having an extra pendant.
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (0, 3), (2, 4)])
+        application = reduce_degree_two_folding(g, 1)
+        reduced = application.reduced
+        # Supervertex (old id 2) must now see both pendants 3 and 4.
+        new_of = {old: new for new, old in enumerate(application.old_ids)}
+        super_id = new_of[2]
+        assert set(reduced.neighbors(super_id)) == {new_of[3], new_of[4]}
+
+    def test_requires_nonadjacent_neighbors(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        with pytest.raises(GraphError):
+            reduce_degree_two_folding(g, 0)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_folding_preserves_alpha_randomized(self, seed):
+        g = gnm_random_graph(12, 16, seed=seed)
+        target = next(
+            (
+                u
+                for u in range(g.n)
+                if g.degree(u) == 2 and not g.has_edge(*g.neighbors(u))
+            ),
+            None,
+        )
+        if target is None:
+            pytest.skip("no foldable vertex in this instance")
+        application = reduce_degree_two_folding(g, target)
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced) + 1
+
+
+class TestDominance:
+    def test_definition(self):
+        g = paper_figure1()
+        # v2 (id 1) and v3 (id 2) are twins inside a triangle with v1:
+        # each dominates the other.
+        assert is_dominated_by(g, 1, 2)
+        assert is_dominated_by(g, 2, 1)
+
+    def test_non_dominance(self):
+        g = path_graph(4)
+        assert not is_dominated_by(g, 1, 2)
+
+    def test_requires_edge(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert not is_dominated_by(g, 0, 2)
+
+    def test_degree_one_vertex_dominates_neighbor(self):
+        g = path_graph(2)
+        assert is_dominated_by(g, 1, 0)  # 0 dominates 1? N(0)\{1}=∅ ⊆ N(1)
+        assert is_dominated_by(g, 0, 1)
+
+    def test_isolated_clique_dominance(self):
+        g = isolated_clique_gadget(4)
+        for v in (1, 2, 3):
+            assert is_dominated_by(g, v, 0)
+
+    def test_find_dominated_vertex(self):
+        found = find_dominated_vertex(mutual_dominance_gadget())
+        assert found is not None
+        u, v = found
+        assert is_dominated_by(mutual_dominance_gadget(), u, v)
+
+    def test_reduce_dominance_preserves_alpha(self):
+        g = mutual_dominance_gadget()
+        application = reduce_dominance(g, 0, 1)
+        assert application.alpha_offset == 0
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced)
+
+    def test_reduce_dominance_validates(self):
+        g = path_graph(4)
+        with pytest.raises(GraphError):
+            reduce_dominance(g, 1, 2)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_dominance_preserves_alpha_randomized(self, seed):
+        g = gnm_random_graph(11, 22, seed=seed + 50)
+        found = find_dominated_vertex(g)
+        if found is None:
+            pytest.skip("no dominance pair in this instance")
+        u, v = found
+        application = reduce_dominance(g, u, v)
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced)
+
+
+class TestTwin:
+    def _twin_instance(self):
+        # u=0, v=1 twins over N = {2, 3, 4} with edge (2, 3); pendants keep
+        # the neighbourhood vertices from being degree-reduced away.
+        edges = [
+            (0, 2), (0, 3), (0, 4),
+            (1, 2), (1, 3), (1, 4),
+            (2, 3),
+            (2, 5), (3, 6), (4, 7), (4, 8),
+        ]
+        return Graph.from_edges(9, edges)
+
+    def test_find_twin_pair(self):
+        g = self._twin_instance()
+        assert find_twin_pair(g) == (0, 1)
+
+    def test_reduce_preserves_alpha_with_offset(self):
+        g = self._twin_instance()
+        application = reduce_twin(g, 0, 1)
+        assert application.alpha_offset == 2
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced) + 2
+
+    def test_rejects_adjacent_pair(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        with pytest.raises(GraphError):
+            reduce_twin(g, 0, 1)
+
+    def test_rejects_non_twins(self):
+        g = self._twin_instance()
+        with pytest.raises(GraphError):
+            reduce_twin(g, 0, 2)
+
+    def test_rejects_independent_neighbourhood(self):
+        edges = [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]
+        g = Graph.from_edges(5, edges)
+        with pytest.raises(GraphError):
+            reduce_twin(g, 0, 1)
+
+    def test_no_twins_in_cycle(self):
+        from repro.graphs import cycle_graph
+
+        assert find_twin_pair(cycle_graph(8)) is None
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_randomized_alpha_preservation(self, seed):
+        # Plant a twin pair (0, 1) over {2, 3, 4} with edge (2, 3) inside a
+        # random ambient graph on the remaining vertices.
+        import random
+
+        rng = random.Random(seed)
+        n = 12
+        edges = {(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3)}
+        for _ in range(rng.randrange(5, 18)):
+            u = rng.randrange(2, n)
+            v = rng.randrange(2, n)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        g = Graph.from_edges(n, sorted(edges))
+        if g.degree(0) != 3 or g.neighbors(0) != g.neighbors(1):
+            pytest.skip("ambient edges broke the twin structure")
+        application = reduce_twin(g, 0, 1)
+        assert brute_force_alpha(g) == brute_force_alpha(application.reduced) + 2
+
+
+class TestUnconfined:
+    def test_dominated_vertex_is_unconfined(self):
+        # Dominance is a special case of unconfinement: take the triangle
+        # with a tail — vertex 1 is dominated by 0.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3)])
+        assert is_unconfined(g, 2)  # 2 dominated by 0 -> unconfined
+
+    def test_isolated_vertex_is_confined(self):
+        g = Graph.from_edges(3, [(1, 2)])
+        assert not is_unconfined(g, 0)
+
+    def test_path_endpoint_is_unconfined(self):
+        # P4: the MIS {1, 3} excludes vertex 0, and the procedure proves
+        # it (S grows to {0, 2}, then u = 3 yields the contradiction).
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert is_unconfined(g, 0)
+
+    def test_star_leaf_is_confined(self):
+        # Every maximum independent set of the star is exactly its leaves,
+        # so a leaf can never be safely excluded.
+        g = star_graph(2)
+        assert not is_unconfined(g, 1)
+        assert not is_unconfined(g, 2)
+
+    def test_multi_round_growth(self):
+        # The witness set must grow beyond {v} to expose the contradiction:
+        # v=0 with the classic funnel-ish pattern.
+        edges = [
+            (0, 1), (0, 2),
+            (1, 3), (2, 4),
+            (3, 4),
+            (1, 2),
+        ]
+        g = Graph.from_edges(5, edges)
+        # Here 0's neighbours form an edge: 0 dominates nobody but the
+        # procedure finds u=1 (W={3}), grows S={0,3}, then u=4 has W=∅.
+        assert is_unconfined(g, 0)
+
+    def test_reduce_validates(self):
+        with pytest.raises(GraphError):
+            reduce_unconfined(star_graph(2), 1)
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_randomized_alpha_preservation(self, seed):
+        g = gnm_random_graph(12, 24, seed=seed + 700)
+        v = find_unconfined_vertex(g)
+        if v is None:
+            pytest.skip("no unconfined vertex in this instance")
+        application = reduce_unconfined(g, v)
+        assert brute_force_alpha(application.reduced) == brute_force_alpha(g)

@@ -1,0 +1,146 @@
+"""Tests for the decision log and solution reconstruction."""
+
+from repro.core.trace import DecisionLog
+from repro.graphs import Graph, path_graph, cycle_graph
+
+
+class TestBasicReplay:
+    def test_includes_survive(self):
+        g = path_graph(3)
+        log = DecisionLog()
+        log.include(0)
+        log.exclude(1)
+        outcome = log.replay(g, extend_maximal=False)
+        assert outcome.vertices == {0}
+
+    def test_maximal_extension_fills_gaps(self):
+        g = path_graph(5)
+        log = DecisionLog()
+        outcome = log.replay(g)
+        # First-fit extension on a path takes 0, 2, 4.
+        assert outcome.vertices == {0, 2, 4}
+
+    def test_peel_bookkeeping(self):
+        g = path_graph(2)
+        log = DecisionLog()
+        log.peel(0)
+        log.include(1)
+        outcome = log.replay(g, extend_maximal=False)
+        assert outcome.peeled == 1
+        assert outcome.surviving_peels == 1
+        assert outcome.upper_bound == 2
+        assert not outcome.is_exact
+
+    def test_peeled_vertex_readded_by_extension(self):
+        g = path_graph(3)
+        log = DecisionLog()
+        log.peel(0)
+        log.include(2)
+        outcome = log.replay(g)
+        # 0 has no solution neighbour, so extension re-adds it: R empty.
+        assert 0 in outcome.vertices
+        assert outcome.surviving_peels == 0
+        assert outcome.is_exact
+
+
+class TestPathEntries:
+    def test_path_vertex_added_when_blockers_out(self):
+        g = path_graph(3)
+        log = DecisionLog()
+        log.push_path(1, 0, 2)
+        outcome = log.replay(g, extend_maximal=False)
+        assert 1 in outcome.vertices
+
+    def test_path_vertex_skipped_when_blocker_in(self):
+        g = path_graph(3)
+        log = DecisionLog()
+        log.include(0)
+        log.push_path(1, 0, 2)
+        outcome = log.replay(g, extend_maximal=False)
+        assert 1 not in outcome.vertices
+
+    def test_pop_order_is_reverse_push_order(self):
+        # Path 0-1-2-3-4: push 3 then 2 then 1 (pop order 1, 2, 3) with
+        # vertex 0 included: alternation takes 2 and 4... here only the
+        # pushed ones: skip 1 (blocked by 0), add 2, skip 3.
+        g = path_graph(5)
+        log = DecisionLog()
+        log.include(0)
+        log.push_path(3, 2, 4)
+        log.push_path(2, 1, 3)
+        log.push_path(1, 0, 2)
+        outcome = log.replay(g, extend_maximal=False)
+        assert outcome.vertices == {0, 2}
+
+    def test_alpha_offset_counts_half_of_path_entries(self):
+        log = DecisionLog()
+        log.push_path(1, 0, 2)
+        log.push_path(2, 1, 3)
+        log.include(9)
+        log.fold(4, 5, 6)
+        assert log.alpha_offset == 1 + 1 + 1  # include + fold + 2 paths / 2
+
+
+class TestFoldEntries:
+    def test_fold_takes_v_when_supervertex_in(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        log = DecisionLog()
+        log.fold(0, 1, 2)  # u=0 folded with v=1 into supervertex w=2
+        log.include(2)
+        outcome = log.replay(g, extend_maximal=False)
+        assert outcome.vertices == {1, 2}
+
+    def test_fold_takes_u_when_supervertex_out(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        log = DecisionLog()
+        log.fold(0, 1, 2)
+        log.exclude(2)
+        outcome = log.replay(g, extend_maximal=False)
+        assert outcome.vertices == {0}
+
+    def test_nested_folds_resolve_in_reverse(self):
+        g = path_graph(6)
+        log = DecisionLog()
+        log.fold(0, 1, 2)  # earlier fold references supervertex 2...
+        log.fold(2, 3, 4)  # ...which is itself folded later into 4.
+        log.include(4)
+        outcome = log.replay(g, extend_maximal=False)
+        # Reverse replay: 4 in I -> add 3 (fold 2); 2 not in I -> add 0.
+        assert outcome.vertices == {0, 3, 4}
+
+
+class TestLogUtilities:
+    def test_copy_is_independent(self):
+        log = DecisionLog()
+        log.include(0)
+        clone = log.copy()
+        clone.include(1)
+        assert len(log) == 1
+        assert len(clone) == 2
+
+    def test_extend_mapped_translates_ids(self):
+        g = path_graph(4)
+        inner = DecisionLog()
+        inner.include(0)
+        inner.push_path(1, 0, 2)
+        outer = DecisionLog()
+        outer.extend_mapped(inner, [3, 2, 1, 0])
+        outcome = outer.replay(g, extend_maximal=False)
+        assert 3 in outcome.vertices  # include mapped 0 -> 3
+        # Path entry mapped to (2, blockers 3 and 1): 3 in I blocks it.
+        assert 2 not in outcome.vertices
+
+    def test_stats_merge_on_extend(self):
+        a = DecisionLog()
+        a.bump("rule", 2)
+        b = DecisionLog()
+        b.bump("rule", 3)
+        a.extend_mapped(b, [])
+        assert a.stats["rule"] == 5
+
+    def test_peel_count(self):
+        log = DecisionLog()
+        log.peel(1)
+        log.peel(2)
+        log.include(3)
+        assert log.peel_count == 2

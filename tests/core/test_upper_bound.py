@@ -1,0 +1,58 @@
+"""Tests for the Theorem-6.1 upper-bound helpers."""
+
+import pytest
+
+from repro.core import bdone, near_linear
+from repro.core.upper_bound import certify_maximum, reducing_peeling_upper_bound
+from repro.exact import brute_force_alpha
+from repro.graphs import (
+    cycle_graph,
+    gnm_random_graph,
+    petersen_graph,
+    power_law_sequence_graph,
+    random_tree,
+)
+
+
+class TestBoundHelper:
+    def test_bound_valid_on_random_graphs(self):
+        for seed in range(20):
+            g = gnm_random_graph(15, 30, seed=seed)
+            assert reducing_peeling_upper_bound(g) >= brute_force_alpha(g)
+
+    def test_bound_tight_on_reducible_graphs(self):
+        g = random_tree(60, seed=1)
+        result = near_linear(g)
+        assert reducing_peeling_upper_bound(g) == result.size
+
+    def test_bound_on_petersen(self):
+        # Peeling must fire; the bound is alpha + slack, never below alpha.
+        assert reducing_peeling_upper_bound(petersen_graph()) >= 4
+
+
+class TestCertify:
+    def test_certified_when_bound_met(self):
+        result = near_linear(cycle_graph(9))
+        assert certify_maximum(result)
+        assert result.is_exact
+
+    def test_not_certified_with_slack(self):
+        result = bdone(petersen_graph())
+        assert not certify_maximum(result)
+
+    def test_certificate_equals_is_exact(self):
+        for seed in range(15):
+            g = gnm_random_graph(20, 45, seed=seed)
+            for algorithm in (bdone, near_linear):
+                result = algorithm(g)
+                assert certify_maximum(result) == result.is_exact
+
+
+class TestPaperTable5Claim:
+    """Sanity anchor for the Table-5 benchmark: PLR graphs certify."""
+
+    @pytest.mark.parametrize("beta", [1.9, 2.3, 2.7])
+    def test_plr_graphs_certified_by_bdone(self, beta):
+        g = power_law_sequence_graph(3000, beta, seed=42)
+        result = bdone(g)
+        assert result.is_exact

@@ -1,0 +1,85 @@
+"""Tests for the vertex-cover API and per-component solving."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import minimum_vertex_cover, solve_by_components
+from repro.analysis import is_vertex_cover
+from repro.core import bdone, near_linear
+from repro.exact import brute_force_alpha
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    disjoint_union,
+    gnm_random_graph,
+    paper_figure1,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestVertexCover:
+    def test_paper_figure1(self):
+        g = paper_figure1()
+        result = minimum_vertex_cover(g)
+        assert is_vertex_cover(g, result.vertex_cover)
+        assert result.size == 5  # the paper's minimum cover
+        assert result.is_exact
+
+    def test_star_cover_is_center(self):
+        result = minimum_vertex_cover(star_graph(8))
+        assert result.vertex_cover == {0}
+
+    def test_lower_bound_sandwich(self):
+        for seed in range(15):
+            g = gnm_random_graph(16, 32, seed=seed)
+            result = minimum_vertex_cover(g)
+            tau = g.n - brute_force_alpha(g)
+            assert result.lower_bound <= tau <= result.size
+            if result.is_exact:
+                assert result.size == tau
+
+    def test_algorithm_dispatch(self):
+        g = cycle_graph(8)
+        result = minimum_vertex_cover(g, algorithm="BDOne")
+        assert result.algorithm == "BDOne"
+        assert is_vertex_cover(g, result.vertex_cover)
+
+
+class TestComponents:
+    def test_matches_whole_graph_alpha_on_union(self):
+        parts = [cycle_graph(5), path_graph(4), petersen_graph()]
+        union = disjoint_union(parts)
+        result = solve_by_components(union, near_linear)
+        assert result.size == 2 + 2 + 4
+        from repro.analysis import is_maximal_independent_set
+
+        assert is_maximal_independent_set(union, result.independent_set)
+
+    def test_certificate_composes(self):
+        union = disjoint_union([cycle_graph(6), path_graph(5)])
+        result = solve_by_components(union, near_linear)
+        assert result.is_exact
+        assert result.upper_bound == result.size
+
+    def test_slack_sums_across_components(self):
+        union = disjoint_union([petersen_graph(), petersen_graph()])
+        result = solve_by_components(union, bdone)
+        whole = bdone(union)
+        assert result.surviving_peels <= whole.surviving_peels + 2
+        assert result.algorithm.endswith("/components")
+
+    def test_empty_graph(self):
+        result = solve_by_components(Graph.empty(0), near_linear)
+        assert result.size == 0
+        assert result.is_exact
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=400))
+    def test_component_solving_never_worse_bound(self, seed):
+        g = gnm_random_graph(14, 12, seed=seed)  # sparse -> disconnected
+        split = solve_by_components(g, near_linear)
+        alpha = brute_force_alpha(g)
+        assert split.size <= alpha <= split.upper_bound

@@ -1,0 +1,95 @@
+"""Tests for the ArrayWorkspace mutation primitives."""
+
+from repro.core.workspace import ArrayWorkspace
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+
+
+class TestInitialisation:
+    def test_degree_zero_included_immediately(self):
+        g = Graph.empty(3)
+        ws = ArrayWorkspace(g)
+        outcome = ws.log.replay(g, extend_maximal=False)
+        assert outcome.vertices == {0, 1, 2}
+
+    def test_initial_worklists(self):
+        g = path_graph(4)  # degrees 1, 2, 2, 1
+        ws = ArrayWorkspace(g, track_degree_two=True)
+        assert set(ws.v1) == {0, 3}
+        assert set(ws.v2) == {1, 2}
+
+    def test_degree_two_not_tracked_by_default(self):
+        ws = ArrayWorkspace(path_graph(4))
+        assert ws.v2 == []
+
+
+class TestDeletion:
+    def test_delete_updates_degrees(self):
+        g = star_graph(3)
+        ws = ArrayWorkspace(g)
+        ws.delete_vertex(0, "exclude")
+        assert ws.deg[1] == 0
+        # Leaves hit degree zero and are auto-included.
+        outcome = ws.log.replay(g, extend_maximal=False)
+        assert outcome.vertices == {1, 2, 3}
+
+    def test_delete_refiles_into_worklists(self):
+        g = cycle_graph(5)
+        ws = ArrayWorkspace(g, track_degree_two=True)
+        ws.delete_vertex(0, "exclude")
+        popped = ws.pop_degree_one()
+        assert popped in (1, 4)
+
+    def test_pop_validates_staleness(self):
+        g = path_graph(3)
+        ws = ArrayWorkspace(g)
+        ws.delete_vertex(1, "exclude")  # 0 and 2 drop to degree 0
+        assert ws.pop_degree_one() is None  # stale entries skipped
+
+    def test_live_neighbors_skip_dead(self):
+        g = cycle_graph(4)
+        ws = ArrayWorkspace(g)
+        ws.delete_vertex(1, "exclude")
+        assert ws.live_neighbors(0) == [3]
+
+    def test_live_counts(self):
+        g = cycle_graph(4)
+        ws = ArrayWorkspace(g)
+        assert ws.live_vertex_count == 4
+        assert ws.live_edge_count() == 4
+        ws.delete_vertex(0, "exclude")
+        assert ws.live_vertex_count == 3
+        assert ws.live_edge_count() == 2
+
+
+class TestRewiring:
+    def test_rewire_and_edge_check(self):
+        g = path_graph(3)
+        ws = ArrayWorkspace(g)
+        assert not ws.has_live_edge(0, 2)
+        ws.remove_silently(1)
+        ws.rewire(0, 1, 2)
+        ws.rewire(2, 1, 0)
+        assert ws.has_live_edge(0, 2)
+
+    def test_peel_pops_max_degree(self):
+        g = star_graph(4)
+        ws = ArrayWorkspace(g)
+        assert ws.pop_max_degree() == 0
+
+
+class TestKernelExport:
+    def test_export_compacts_ids(self):
+        g = cycle_graph(5)
+        ws = ArrayWorkspace(g)
+        ws.delete_vertex(0, "peel")
+        kernel, old_ids = ws.export_kernel()
+        assert kernel.n == 4
+        assert old_ids == [1, 2, 3, 4]
+        assert kernel.m == 3  # the path 1-2-3-4
+
+    def test_export_empty(self):
+        g = Graph.empty(2)
+        ws = ArrayWorkspace(g)
+        kernel, old_ids = ws.export_kernel()
+        assert kernel.n == 0
+        assert old_ids == []

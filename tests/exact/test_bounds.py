@@ -1,0 +1,90 @@
+"""Tests for the clique-cover / LP / cycle-cover upper bounds."""
+
+import pytest
+
+from repro.exact import (
+    brute_force_alpha,
+    clique_cover_bound,
+    combined_upper_bound,
+    cycle_cover_bound,
+    forest_alpha,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    gnm_random_graph,
+    grid_graph,
+    path_graph,
+    petersen_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestCliqueCover:
+    def test_complete_graph_needs_one_clique(self):
+        assert clique_cover_bound(complete_graph(8)) == 1
+
+    def test_empty_graph(self):
+        assert clique_cover_bound(Graph.empty(5)) == 5
+
+    def test_path_cover(self):
+        # A path decomposes into ⌈n/2⌉ edges/singletons.
+        assert clique_cover_bound(path_graph(6)) == 3
+
+    def test_tight_on_union_of_triangles(self):
+        g = disjoint_union([complete_graph(3)] * 4)
+        assert clique_cover_bound(g) == 4
+
+
+class TestForestAlpha:
+    def test_path(self):
+        g = path_graph(7)
+        assert forest_alpha(g, list(range(7))) == 4
+
+    def test_star(self):
+        g = star_graph(6)
+        assert forest_alpha(g, list(range(7))) == 6
+
+    def test_random_trees_match_brute_force(self):
+        for seed in range(10):
+            g = random_tree(16, seed=seed)
+            assert forest_alpha(g, list(range(16))) == brute_force_alpha(g)
+
+    def test_partial_vertex_set(self):
+        g = path_graph(5)
+        # Induced on {0, 1, 2}: a P3, α = 2.
+        assert forest_alpha(g, [0, 1, 2]) == 2
+
+
+class TestCycleCover:
+    def test_single_cycle(self):
+        assert cycle_cover_bound(cycle_graph(9)) == 4
+
+    def test_forest_is_exact(self):
+        g = random_tree(30, seed=4)
+        assert cycle_cover_bound(g) == forest_alpha(g, list(range(30)))
+
+    def test_odd_cycle_beats_lp(self):
+        # On C5 the LP bound is 2.5 -> 2 after floor; cycle cover also 2.
+        assert cycle_cover_bound(cycle_graph(5)) == 2
+
+
+class TestCombined:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_valid_upper_bound_randomized(self, seed):
+        g = gnm_random_graph(13, 24, seed=seed)
+        assert combined_upper_bound(g) >= brute_force_alpha(g)
+
+    def test_empty(self):
+        assert combined_upper_bound(Graph.empty(0)) == 0
+
+    def test_grid(self):
+        g = grid_graph(3, 3)
+        assert combined_upper_bound(g) >= 5
+
+    def test_petersen(self):
+        bound = combined_upper_bound(petersen_graph())
+        assert 4 <= bound <= 5

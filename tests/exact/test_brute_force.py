@@ -1,0 +1,55 @@
+"""Tests for the exhaustive MIS oracle."""
+
+import pytest
+
+from repro.analysis import is_independent_set
+from repro.errors import GraphError
+from repro.exact import brute_force_alpha, brute_force_mis
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize(
+        "graph,alpha",
+        [
+            (Graph.empty(0), 0),
+            (Graph.empty(5), 5),
+            (complete_graph(6), 1),
+            (path_graph(7), 4),
+            (cycle_graph(7), 3),
+            (cycle_graph(8), 4),
+            (star_graph(9), 9),
+            (complete_bipartite_graph(4, 6), 6),
+            (petersen_graph(), 4),
+            (grid_graph(3, 4), 6),
+            (hypercube_graph(3), 4),
+        ],
+    )
+    def test_alpha(self, graph, alpha):
+        assert brute_force_alpha(graph) == alpha
+
+    def test_returned_set_is_independent_and_maximum(self):
+        for seed in range(20):
+            g = gnm_random_graph(12, 25, seed=seed)
+            mis = brute_force_mis(g)
+            assert is_independent_set(g, mis)
+            assert len(mis) == brute_force_alpha(g)
+
+    def test_size_limit(self):
+        with pytest.raises(GraphError):
+            brute_force_mis(Graph.empty(41))
+
+    def test_deterministic(self):
+        g = gnm_random_graph(14, 30, seed=3)
+        assert brute_force_mis(g) == brute_force_mis(g)

@@ -1,0 +1,51 @@
+"""Tests for the complement-based maximum clique helper."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.exact import clique_number, maximum_clique
+from repro.graphs import (
+    Graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    petersen_graph,
+)
+
+
+class TestMaximumClique:
+    def test_complete_graph(self):
+        clique = maximum_clique(complete_graph(6))
+        assert clique == frozenset(range(6))
+
+    def test_triangle_free_graphs(self):
+        assert clique_number(cycle_graph(7)) == 2
+        assert clique_number(petersen_graph()) == 2
+
+    def test_bipartite(self):
+        assert clique_number(complete_bipartite_graph(3, 4)) == 2
+
+    def test_edgeless(self):
+        assert clique_number(Graph.empty(5)) == 1
+        assert clique_number(Graph.empty(0)) == 0
+
+    def test_clique_is_actually_a_clique(self):
+        for seed in range(10):
+            g = gnm_random_graph(25, 140, seed=seed)
+            clique = maximum_clique(g)
+            members = sorted(clique)
+            for i, u in enumerate(members):
+                for v in members[i + 1 :]:
+                    assert g.has_edge(u, v)
+
+    def test_matches_brute_force_on_complement(self):
+        from repro.exact import brute_force_alpha
+
+        for seed in range(10):
+            g = gnm_random_graph(14, 45, seed=seed + 30)
+            assert clique_number(g) == brute_force_alpha(g.complement())
+
+    def test_size_guard(self):
+        with pytest.raises(GraphError):
+            maximum_clique(Graph.empty(3000))

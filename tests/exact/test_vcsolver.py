@@ -1,0 +1,104 @@
+"""Tests for the branch-and-reduce exact solver and full kernelization."""
+
+import pytest
+
+from repro.analysis import is_independent_set
+from repro.errors import BudgetExceededError
+from repro.exact import (
+    brute_force_alpha,
+    full_kernelize,
+    independence_number,
+    maximum_independent_set,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    paper_figure1,
+    paper_figure2,
+    paper_figure5,
+    petersen_graph,
+    power_law_graph,
+    random_regular_graph,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_matches_brute_force_random(self, seed):
+        g = gnm_random_graph(14, 28, seed=seed)
+        result = maximum_independent_set(g)
+        assert is_independent_set(g, result.independent_set)
+        assert result.size == brute_force_alpha(g)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_dense_instances(self, seed):
+        g = gnp_random_graph(18, 0.5, seed=seed)
+        assert maximum_independent_set(g).size == brute_force_alpha(g)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_regular_instances(self, seed):
+        g = random_regular_graph(14, 3, seed=seed)
+        assert maximum_independent_set(g).size == brute_force_alpha(g)
+
+    def test_paper_figures(self):
+        assert independence_number(paper_figure1()) == 5
+        assert independence_number(paper_figure2()) == 3
+        assert independence_number(paper_figure5()) == 4
+        assert independence_number(petersen_graph()) == 4
+
+    def test_large_reducible_graph_needs_no_branching(self):
+        g = power_law_graph(3000, 2.0, average_degree=6, seed=5)
+        result = maximum_independent_set(g)
+        assert result.nodes_explored == 0  # NearLinear certified directly
+
+    def test_empty_and_trivial(self):
+        assert independence_number(Graph.empty(0)) == 0
+        assert independence_number(Graph.empty(7)) == 7
+        assert independence_number(complete_graph(5)) == 1
+
+
+class TestBudget:
+    def test_budget_raises_with_lower_bound(self):
+        g = gnp_random_graph(60, 0.25, seed=1)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            maximum_independent_set(g, node_budget=2)
+        assert excinfo.value.best_lower > 0
+
+
+class TestFullKernelize:
+    def test_stronger_than_near_linear(self):
+        from repro.core import kernelize
+
+        for seed in range(5):
+            g = gnm_random_graph(60, 90, seed=seed)
+            full = full_kernelize(g)
+            nl = kernelize(g, method="near_linear")
+            assert full.kernel.n <= nl.kernel.n
+
+    def test_folding_fires_where_paths_cannot(self):
+        # Petersen is irreducible for NearLinear (3-regular, triangle
+        # free); bridging two non-adjacent vertices with a degree-two
+        # vertex creates the one configuration only folding handles.
+        base = petersen_graph()
+        edges = list(base.edges()) + [(0, 10), (2, 10)]
+        g = Graph.from_edges(11, edges)
+        kr = full_kernelize(g)
+        assert kr.log.stats.get("degree-two-folding", 0) >= 1
+        assert kr.kernel.n < g.n
+        if kr.kernel.n <= 30:
+            offset = kr.log.alpha_offset
+            assert offset + brute_force_alpha(kr.kernel) == brute_force_alpha(g)
+
+    def test_kernel_alpha_relation(self):
+        for seed in range(15):
+            g = gnm_random_graph(15, 27, seed=seed + 200)
+            kr = full_kernelize(g)
+            offset = kr.log.alpha_offset
+            if kr.kernel.n <= 30:
+                assert offset + brute_force_alpha(kr.kernel) == brute_force_alpha(g)
+
+    def test_cycle_kernel_empty(self):
+        assert full_kernelize(cycle_graph(10)).is_solved

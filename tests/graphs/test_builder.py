@@ -1,0 +1,72 @@
+"""Unit tests for GraphBuilder."""
+
+import pytest
+
+from repro.errors import EdgeError, VertexError
+from repro.graphs import GraphBuilder
+
+
+class TestBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder(3)
+        assert b.add_edge(0, 1)
+        assert b.add_edge(1, 2)
+        g = b.build()
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_duplicate_edge_ignored(self):
+        b = GraphBuilder(2)
+        assert b.add_edge(0, 1)
+        assert not b.add_edge(1, 0)
+        assert b.m == 1
+
+    def test_self_loop_ignored(self):
+        b = GraphBuilder(2)
+        assert not b.add_edge(1, 1)
+        assert b.m == 0
+
+    def test_strict_mode_raises_on_duplicate(self):
+        b = GraphBuilder(2, strict=True)
+        b.add_edge(0, 1)
+        with pytest.raises(EdgeError):
+            b.add_edge(0, 1)
+
+    def test_strict_mode_raises_on_self_loop(self):
+        b = GraphBuilder(2, strict=True)
+        with pytest.raises(EdgeError):
+            b.add_edge(0, 0)
+
+    def test_out_of_range_vertex_raises(self):
+        b = GraphBuilder(2)
+        with pytest.raises(VertexError):
+            b.add_edge(0, 2)
+
+    def test_negative_vertex_count_raises(self):
+        with pytest.raises(VertexError):
+            GraphBuilder(-1)
+
+    def test_add_vertex_grows_graph(self):
+        b = GraphBuilder(1)
+        new = b.add_vertex()
+        assert new == 1
+        b.add_edge(0, 1)
+        assert b.build().m == 1
+
+    def test_add_edges_counts_new_only(self):
+        b = GraphBuilder(3)
+        added = b.add_edges([(0, 1), (0, 1), (1, 1), (1, 2)])
+        assert added == 2
+
+    def test_has_edge(self):
+        b = GraphBuilder(3)
+        b.add_edge(0, 2)
+        assert b.has_edge(2, 0)
+        assert not b.has_edge(0, 1)
+
+    def test_neighborhoods_sorted_in_built_graph(self):
+        b = GraphBuilder(4)
+        b.add_edge(3, 0)
+        b.add_edge(3, 2)
+        b.add_edge(3, 1)
+        assert b.build().neighbors(3) == (0, 1, 2)

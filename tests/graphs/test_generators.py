@@ -1,0 +1,208 @@
+"""Unit and property tests for the graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    barabasi_albert_graph,
+    binary_tree_graph,
+    caterpillar_graph,
+    collaboration_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    degree_histogram,
+    disjoint_union,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_graph,
+    hypercube_graph,
+    path_graph,
+    planted_independent_set_graph,
+    power_law_graph,
+    power_law_exponent_estimate,
+    power_law_sequence_graph,
+    random_regular_graph,
+    random_tree,
+    star_graph,
+    web_like_graph,
+)
+from repro.analysis import is_independent_set
+
+
+class TestRandomFamilies:
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(50, 120, seed=3)
+        assert g.n == 50
+        assert g.m == 120
+
+    def test_gnm_rejects_impossible_edge_count(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 7)
+
+    def test_gnm_deterministic_per_seed(self):
+        assert gnm_random_graph(30, 60, seed=5) == gnm_random_graph(30, 60, seed=5)
+        assert gnm_random_graph(30, 60, seed=5) != gnm_random_graph(30, 60, seed=6)
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0).m == 0
+        assert gnp_random_graph(10, 1.0).m == 45
+
+    def test_gnp_rejects_bad_probability(self):
+        with pytest.raises(GraphError):
+            gnp_random_graph(10, 1.5)
+
+    def test_gnp_density_plausible(self):
+        g = gnp_random_graph(200, 0.1, seed=7)
+        expected = 0.1 * 200 * 199 / 2
+        assert 0.7 * expected < g.m < 1.3 * expected
+
+    def test_power_law_average_degree(self):
+        g = power_law_graph(5000, 2.3, average_degree=6.0, seed=11)
+        assert 4.0 < g.average_degree() < 8.0
+
+    def test_power_law_tail_exponent(self):
+        g = power_law_graph(20000, 2.2, average_degree=8.0, seed=13)
+        estimate = power_law_exponent_estimate(g, d_min=3)
+        assert 1.8 < estimate < 3.0
+
+    def test_power_law_rejects_bad_beta(self):
+        with pytest.raises(GraphError):
+            power_law_graph(100, 1.0)
+
+    def test_power_law_sequence_mostly_degree_one(self):
+        # P(k=1) = 1/zeta(beta) > 60% for beta >= 2.3: the property that
+        # makes the paper's PLR graphs trivially reducible.
+        g = power_law_sequence_graph(8000, 2.3, seed=3)
+        histogram = degree_histogram(g)
+        low = histogram.get(0, 0) + histogram.get(1, 0) + histogram.get(2, 0)
+        assert low > 0.5 * g.n
+
+    def test_power_law_sequence_average_degree_tracks_beta(self):
+        sparse = power_law_sequence_graph(5000, 2.7, seed=4)
+        dense = power_law_sequence_graph(5000, 1.9, seed=4)
+        assert dense.average_degree() > sparse.average_degree()
+
+    def test_power_law_sequence_respects_max_degree(self):
+        g = power_law_sequence_graph(2000, 2.0, seed=5, max_degree=10)
+        # Expected degrees are capped; realised ones stay in the ballpark.
+        assert g.max_degree() <= 30
+
+    def test_power_law_sequence_rejects_bad_beta(self):
+        with pytest.raises(GraphError):
+            power_law_sequence_graph(100, 0.9)
+
+    def test_power_law_sequence_empty(self):
+        assert power_law_sequence_graph(0, 2.3).n == 0
+
+    def test_power_law_empty(self):
+        assert power_law_graph(0, 2.3).n == 0
+
+    def test_barabasi_albert_structure(self):
+        g = barabasi_albert_graph(500, 3, seed=17)
+        assert g.n == 500
+        # Every vertex beyond the seed star attaches exactly 3 times.
+        assert g.m == 3 + 3 * (500 - 4)
+        assert min(g.degrees()) >= 3 or g.degree(0) >= 3
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(3, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(2, 2)
+
+    def test_web_like_has_low_degree_tail(self):
+        g = web_like_graph(3000, attach=8, closure=0.6, seed=19)
+        histogram = degree_histogram(g)
+        low = histogram.get(1, 0) + histogram.get(2, 0)
+        assert low > 3000 * 0.05  # geometric out-degree keeps leaf pages
+
+    def test_web_like_validation(self):
+        with pytest.raises(GraphError):
+            web_like_graph(100, 2, closure=1.5)
+        with pytest.raises(GraphError):
+            web_like_graph(2, 1)
+
+    def test_collaboration_graph_is_clique_union(self):
+        g = collaboration_graph(200, papers=50, max_team=4, seed=23)
+        assert g.n == 200
+        assert g.m > 0
+
+    def test_planted_set_is_independent(self):
+        g = planted_independent_set_graph(60, 20, p=0.3, seed=29)
+        assert is_independent_set(g, range(20))
+
+    def test_planted_set_size_validation(self):
+        with pytest.raises(GraphError):
+            planted_independent_set_graph(10, 11)
+
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(30, 3, seed=31)
+        assert all(d == 3 for d in g.degrees())
+
+    def test_random_regular_validation(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)  # n*d odd
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4)  # d >= n
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(40, seed=37)
+        assert g.m == 39
+        assert len(connected_components(g)) == 1
+
+
+class TestStructuredFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.m == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert all(d == 2 for d in g.degrees())
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.m == 12
+        assert is_independent_set(g, range(3))
+        assert is_independent_set(g, range(3, 7))
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.m == 7
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # vertical + horizontal
+
+    def test_binary_tree(self):
+        g = binary_tree_graph(3)
+        assert g.n == 15
+        assert g.m == 14
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert all(d == 4 for d in g.degrees())
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.n == 12
+        assert g.m == 3 + 8
+
+    def test_disjoint_union(self):
+        g = disjoint_union([cycle_graph(3), path_graph(4)])
+        assert g.n == 7
+        assert g.m == 3 + 3
+        assert len(connected_components(g)) == 2

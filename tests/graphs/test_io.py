@@ -1,0 +1,114 @@
+"""Round-trip and error-handling tests for graph IO."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    dumps_edge_list,
+    gnm_random_graph,
+    loads_edge_list,
+    petersen_graph,
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        g = gnm_random_graph(20, 40, seed=1)
+        assert loads_edge_list(dumps_edge_list(g)) == g
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n% more\n0 1\n1 2\n"
+        g = loads_edge_list(text)
+        assert g.n == 3
+        assert g.m == 2
+
+    def test_label_compaction(self):
+        g, labels = read_edge_list(io.StringIO("100 7\n7 42\n"))
+        assert g.n == 3
+        assert labels == [7, 42, 100]  # sorted-label order
+        assert g.has_edge(2, 0)  # 100 - 7
+        assert g.has_edge(0, 1)  # 7 - 42
+
+    def test_header_preserves_isolated_vertices(self):
+        g, labels = read_edge_list(io.StringIO("# repro graph: n=5 m=1\n0 1\n"))
+        assert g.n == 5
+        assert g.degree(4) == 0
+
+    def test_bad_line_raises_with_line_number(self):
+        with pytest.raises(GraphFormatError) as excinfo:
+            loads_edge_list("0 1\nnonsense\n")
+        assert excinfo.value.line_number == 2
+
+    def test_non_integer_raises(self):
+        with pytest.raises(GraphFormatError):
+            loads_edge_list("a b\n")
+
+    def test_file_round_trip(self, tmp_path):
+        g = cycle_graph(7)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, str(path))
+        loaded, _ = read_edge_list(str(path))
+        assert loaded == g
+
+
+class TestMetis:
+    def test_round_trip(self, tmp_path):
+        g = petersen_graph()
+        path = tmp_path / "g.metis"
+        write_metis(g, str(path))
+        assert read_metis(str(path)) == g
+
+    def test_header_mismatch_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("2 5\n2\n1\n"))
+
+    def test_missing_lines_raise(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("3 1\n2\n1\n"))
+
+    def test_empty_file_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO(""))
+
+    def test_out_of_range_neighbour_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_metis(io.StringIO("2 1\n3\n1\n"))
+
+    def test_isolated_vertices_survive(self):
+        g = read_metis(io.StringIO("3 1\n2\n1\n\n"))
+        assert g.n == 3
+        assert g.degree(2) == 0
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random_graph(15, 30, seed=9)
+        path = tmp_path / "g.col"
+        write_dimacs(g, str(path))
+        assert read_dimacs(str(path)) == g
+
+    def test_comments_skipped(self):
+        g = read_dimacs(io.StringIO("c hi\np edge 3 2\ne 1 2\ne 2 3\n"))
+        assert g.m == 2
+
+    def test_edge_before_problem_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("e 1 2\n"))
+
+    def test_missing_problem_line_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("c only comments\n"))
+
+    def test_out_of_range_edge_raises(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO("p edge 2 1\ne 1 5\n"))

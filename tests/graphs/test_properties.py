@@ -1,0 +1,106 @@
+"""Tests for structural graph analytics."""
+
+import pytest
+
+from repro.graphs import (
+    complete_graph,
+    connected_components,
+    count_triangles,
+    cycle_graph,
+    degeneracy,
+    degeneracy_ordering,
+    degree_histogram,
+    disjoint_union,
+    grid_graph,
+    is_connected,
+    largest_component,
+    path_graph,
+    petersen_graph,
+    random_tree,
+    star_graph,
+    triangle_counts,
+    Graph,
+)
+
+
+class TestTriangles:
+    def test_triangle_counts_on_k4(self):
+        g = complete_graph(4)
+        counts = triangle_counts(g)
+        # Every edge of K4 lies in exactly 2 triangles.
+        assert all(c == 2 for c in counts.values())
+        assert count_triangles(g) == 4
+
+    def test_triangle_free_graph(self):
+        g = cycle_graph(6)
+        assert count_triangles(g) == 0
+        assert all(c == 0 for c in triangle_counts(g).values())
+
+    def test_single_triangle(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        counts = triangle_counts(g)
+        assert counts[(0, 1)] == 1
+        assert counts[(1, 2)] == 1
+        assert counts[(0, 2)] == 1
+        assert counts[(2, 3)] == 0
+
+    def test_petersen_is_triangle_free(self):
+        assert count_triangles(petersen_graph()) == 0
+
+
+class TestComponents:
+    def test_connected_cycle(self):
+        assert is_connected(cycle_graph(5))
+        assert len(connected_components(cycle_graph(5))) == 1
+
+    def test_disjoint_union_components(self):
+        g = disjoint_union([cycle_graph(4), path_graph(3), complete_graph(2)])
+        components = connected_components(g)
+        assert [len(c) for c in components] == [4, 3, 2]
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph.empty(3)
+        assert len(connected_components(g)) == 3
+
+    def test_largest_component_extraction(self):
+        g = disjoint_union([path_graph(2), cycle_graph(5)])
+        sub, ids = g.subgraph(connected_components(g)[0])
+        assert sub.n == 5
+        largest, mapping = largest_component(g)
+        assert largest.n == 5
+        assert len(mapping) == 5
+
+    def test_largest_component_empty_graph(self):
+        largest, mapping = largest_component(Graph.empty(0))
+        assert largest.n == 0
+        assert mapping == []
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_is_one(self):
+        assert degeneracy(random_tree(50, seed=1)) == 1
+
+    def test_cycle_degeneracy_is_two(self):
+        assert degeneracy(cycle_graph(9)) == 2
+
+    def test_complete_graph_degeneracy(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_grid_degeneracy_is_two(self):
+        assert degeneracy(grid_graph(5, 5)) == 2
+
+    def test_ordering_is_permutation(self):
+        g = petersen_graph()
+        order, k = degeneracy_ordering(g)
+        assert sorted(order) == list(range(10))
+        assert k == 3  # 3-regular
+
+
+class TestHistogram:
+    def test_star_histogram(self):
+        h = degree_histogram(star_graph(6))
+        assert h == {1: 6, 6: 1}
+
+    def test_histogram_sums_to_n(self):
+        g = grid_graph(4, 5)
+        assert sum(degree_histogram(g).values()) == g.n

@@ -1,0 +1,128 @@
+"""Unit tests for the adjacency-array Graph type."""
+
+import pytest
+
+from repro.errors import VertexError
+from repro.graphs import Graph, cycle_graph, complete_graph, path_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.n == 4
+        assert g.m == 3
+        assert g.neighbors(1) == (0, 2)
+
+    def test_from_edges_drops_duplicates_and_loops(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 0), (1, 2)])
+        assert g.m == 2
+
+    def test_empty_graph(self):
+        g = Graph.empty(5)
+        assert g.n == 5
+        assert g.m == 0
+        assert g.degrees() == [0] * 5
+
+    def test_zero_vertex_graph(self):
+        g = Graph.empty(0)
+        assert g.n == 0
+        assert g.m == 0
+        assert g.max_degree() == 0
+        assert g.average_degree() == 0.0
+
+    def test_renamed_preserves_structure(self):
+        g = cycle_graph(5)
+        h = g.renamed("other")
+        assert h.name == "other"
+        assert h == g  # equality is structural
+
+
+class TestAccessors:
+    def test_degrees_match_neighbor_lengths(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        assert g.degree(0) == 3
+        assert g.degree(4) == 1
+        assert g.degrees() == [len(g.neighbors(v)) for v in range(5)]
+
+    def test_max_and_average_degree(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+        assert g.average_degree() == pytest.approx(1.5)
+
+    def test_has_edge_both_directions(self):
+        g = Graph.from_edges(3, [(0, 2)])
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 1)
+
+    def test_has_edge_searches_smaller_side(self):
+        g = Graph.from_edges(6, [(0, v) for v in range(1, 6)] + [(1, 2)])
+        # degree(0)=5, degree(5)=1: lookup must work regardless of order.
+        assert g.has_edge(0, 5)
+        assert g.has_edge(5, 0)
+        assert not g.has_edge(5, 1)
+
+    def test_edges_yields_each_edge_once(self):
+        g = cycle_graph(6)
+        edges = list(g.edges())
+        assert len(edges) == 6
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 6
+
+    def test_vertex_out_of_range_raises(self):
+        g = path_graph(3)
+        with pytest.raises(VertexError):
+            g.neighbors(3)
+        with pytest.raises(VertexError):
+            g.degree(-1)
+
+
+class TestDerivedGraphs:
+    def test_subgraph_compacts_ids(self):
+        g = cycle_graph(6)
+        sub, old_ids = g.subgraph([0, 1, 2, 4])
+        assert sub.n == 4
+        assert old_ids == [0, 1, 2, 4]
+        # Edges (0,1), (1,2) survive; 4 is isolated in the subgraph.
+        assert sub.m == 2
+        assert sub.degree(3) == 0
+
+    def test_subgraph_empty_selection(self):
+        g = cycle_graph(4)
+        sub, old_ids = g.subgraph([])
+        assert sub.n == 0
+        assert old_ids == []
+
+    def test_complement_of_complete_graph_is_empty(self):
+        g = complete_graph(5)
+        assert g.complement().m == 0
+
+    def test_complement_involution(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3), (1, 4)])
+        assert g.complement().complement() == g
+
+    def test_adjacency_lists_are_fresh_copies(self):
+        g = path_graph(3)
+        lists = g.adjacency_lists()
+        lists[0].append(99)
+        assert g.neighbors(0) == (1,)
+
+    def test_adjacency_sets(self):
+        g = path_graph(3)
+        assert g.adjacency_sets() == [{1}, {0, 2}, {1}]
+
+
+class TestDunder:
+    def test_equality_ignores_name(self):
+        a = cycle_graph(4, name="a")
+        b = cycle_graph(4, name="b")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert cycle_graph(4) != path_graph(4)
+
+    def test_repr_contains_counts(self):
+        g = cycle_graph(4, name="c4")
+        assert "n=4" in repr(g)
+        assert "m=4" in repr(g)

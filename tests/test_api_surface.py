@@ -1,0 +1,55 @@
+"""Coverage of the smaller public API corners."""
+
+from repro.cli import build_parser
+from repro.core import linear_time_reduce, near_linear_reduce
+from repro.graphs import cycle_graph, paper_figure1, petersen_graph
+from repro.localsearch import ConvergenceRecorder
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["solve", "g.txt", "--algorithm", "BDOne"])
+        assert args.command == "solve"
+        assert args.algorithm == "BDOne"
+        args = parser.parse_args(["generate", "out.txt", "--family", "web"])
+        assert args.family == "web"
+
+
+class TestReduceFunctions:
+    def test_linear_time_reduce_direct(self):
+        kernel, old_ids, log = linear_time_reduce(paper_figure1())
+        assert kernel.n == 0
+        assert old_ids == []
+        assert log.peel_count == 0
+
+    def test_near_linear_reduce_irreducible(self):
+        kernel, old_ids, log = near_linear_reduce(petersen_graph())
+        assert kernel.n == 10  # triangle-free 3-regular: nothing fires
+        assert sorted(old_ids) == list(range(10))
+
+    def test_reduce_functions_share_alpha_arithmetic(self):
+        from repro.exact import brute_force_alpha
+
+        g = cycle_graph(9)
+        for reduce_fn in (linear_time_reduce, near_linear_reduce):
+            kernel, _, log = reduce_fn(g)
+            assert log.alpha_offset + brute_force_alpha(kernel) == 4
+
+
+class TestGraphCSR:
+    def test_csr_arrays_shape(self):
+        g = cycle_graph(5)
+        offsets, targets = g.csr_arrays()
+        assert len(offsets) == 6
+        assert len(targets) == 10
+        assert offsets[-1] == len(targets)
+
+
+class TestRecorderRestart:
+    def test_restart_clears_events(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(5)
+        recorder.restart()
+        assert recorder.events == []
+        assert recorder.best_size == 0

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import load_graph, main
+from repro.graphs import cycle_graph, petersen_graph, write_edge_list, write_metis
+
+
+@pytest.fixture()
+def edge_list_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    write_edge_list(petersen_graph(), str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def metis_file(tmp_path):
+    path = tmp_path / "graph.metis"
+    write_metis(cycle_graph(8), str(path))
+    return str(path)
+
+
+class TestLoadGraph:
+    def test_edge_list_detection(self, edge_list_file):
+        graph, labels = load_graph(edge_list_file)
+        assert graph.n == 10
+        assert labels is not None
+
+    def test_metis_detection(self, metis_file):
+        graph, labels = load_graph(metis_file)
+        assert graph.n == 8
+        assert labels is None
+
+
+class TestSolve:
+    def test_solve_default(self, edge_list_file, capsys):
+        assert main(["solve", edge_list_file]) == 0
+        out = capsys.readouterr().out
+        assert "independent set: size 4" in out
+
+    def test_solve_each_algorithm(self, edge_list_file, capsys):
+        for algorithm in ("BDOne", "BDTwo", "LinearTime", "NearLinear", "Greedy", "DU"):
+            assert main(["solve", edge_list_file, "--algorithm", algorithm]) == 0
+
+    def test_solve_vertex_cover(self, edge_list_file, capsys):
+        assert main(["solve", edge_list_file, "--vertex-cover"]) == 0
+        assert "minimum-vertex-cover heuristic: size 6" in capsys.readouterr().out
+
+    def test_solve_writes_output(self, edge_list_file, tmp_path, capsys):
+        out_path = str(tmp_path / "solution.txt")
+        assert main(["solve", edge_list_file, "--output", out_path]) == 0
+        with open(out_path, encoding="utf-8") as handle:
+            vertices = [int(line) for line in handle]
+        assert len(vertices) == 4
+
+    def test_print_vertices(self, edge_list_file, capsys):
+        assert main(["solve", edge_list_file, "--print-vertices"]) == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if not ln.startswith("#")]
+        assert len(lines) == 4
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["solve", "no-such-file.txt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestKernelize:
+    def test_kernelize_prints_sizes(self, metis_file, capsys):
+        assert main(["kernelize", metis_file]) == 0
+        out = capsys.readouterr().out
+        assert "kernel: n=0" in out  # a cycle reduces fully
+
+    def test_kernelize_writes_metis(self, edge_list_file, tmp_path, capsys):
+        out_path = str(tmp_path / "kernel.metis")
+        assert main(["kernelize", edge_list_file, "--output", out_path]) == 0
+        assert os.path.exists(out_path)
+
+
+class TestInfoAndGenerate:
+    def test_info(self, edge_list_file, capsys):
+        assert main(["info", edge_list_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices        : 10" in out
+        assert "degeneracy      : 3" in out
+
+    @pytest.mark.parametrize("family", ["powerlaw", "gnm", "web"])
+    def test_generate_families(self, family, tmp_path, capsys):
+        out_path = str(tmp_path / "generated.txt")
+        assert (
+            main(["generate", out_path, "--family", family, "--n", "200", "--seed", "1"]) == 0
+        )
+        graph, _ = load_graph(out_path)
+        assert graph.n <= 200 and graph.m > 0
+
+    def test_generate_then_solve_round_trip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "g.metis")
+        assert main(["generate", out_path, "--n", "300", "--seed", "2"]) == 0
+        assert main(["solve", out_path, "--algorithm", "LinearTime"]) == 0
+
+    def test_generate_respects_density(self, tmp_path):
+        sparse = str(tmp_path / "sparse.txt")
+        dense = str(tmp_path / "dense.txt")
+        main(["generate", sparse, "--family", "gnm", "--n", "500", "--avg-degree", "2"])
+        main(["generate", dense, "--family", "gnm", "--n", "500", "--avg-degree", "8"])
+        g_sparse, _ = load_graph(sparse)
+        g_dense, _ = load_graph(dense)
+        assert g_dense.m > 2 * g_sparse.m
+
+    def test_info_on_dimacs(self, tmp_path, capsys):
+        from repro.graphs import write_dimacs, petersen_graph
+
+        path = str(tmp_path / "g.col")
+        write_dimacs(petersen_graph(), path)
+        assert main(["info", path]) == 0
+        assert "edges           : 15" in capsys.readouterr().out
+
+    def test_kernelize_edge_list_output(self, edge_list_file, tmp_path, capsys):
+        out_path = str(tmp_path / "kernel.txt")
+        assert main(
+            ["kernelize", edge_list_file, "--method", "degree_one", "--output", out_path]
+        ) == 0
+        graph, _ = load_graph(out_path)
+        assert graph.n == 10  # Petersen is degree-one-irreducible
+
+    def test_solve_baseline_names(self, edge_list_file):
+        for algorithm in ("SemiE", "OnlineMIS", "ReduMIS"):
+            assert main(["solve", edge_list_file, "--algorithm", algorithm]) == 0

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    EdgeError,
+    GraphError,
+    GraphFormatError,
+    NotASolutionError,
+    ReproError,
+    VertexError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [GraphError, VertexError, EdgeError, GraphFormatError, BudgetExceededError, NotASolutionError],
+    )
+    def test_everything_is_a_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+
+    def test_vertex_error_is_graph_error(self):
+        assert issubclass(VertexError, GraphError)
+        assert issubclass(EdgeError, GraphError)
+
+
+class TestMessages:
+    def test_vertex_error_carries_context(self):
+        error = VertexError(7, 5)
+        assert error.vertex == 7
+        assert error.n == 5
+        assert "7" in str(error)
+        assert "[0, 5)" in str(error)
+
+    def test_format_error_line_numbers(self):
+        error = GraphFormatError("bad token", line_number=12)
+        assert "line 12" in str(error)
+        assert error.line_number == 12
+
+    def test_format_error_without_line(self):
+        error = GraphFormatError("empty file")
+        assert error.line_number is None
+        assert "line" not in str(error)
+
+    def test_budget_error_carries_bounds(self):
+        error = BudgetExceededError("over budget", best_lower=42, best_upper=50)
+        assert error.best_lower == 42
+        assert error.best_upper == 50

@@ -1,0 +1,104 @@
+"""Tests for the semi-external (I/O-efficient) module."""
+
+import pytest
+
+from repro.analysis import is_maximal_independent_set
+from repro.core import bdone
+from repro.errors import GraphFormatError
+from repro.exact import brute_force_alpha
+from repro.external import EdgeStream, semi_external_bdone
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    power_law_graph,
+    star_graph,
+    write_edge_list,
+)
+
+
+class TestEdgeStream:
+    def test_graph_source(self):
+        g = cycle_graph(6)
+        stream = EdgeStream(g)
+        assert stream.n == 6
+        assert sorted(stream.edges()) == sorted(g.edges())
+        assert stream.passes == 1
+        list(stream.edges())
+        assert stream.passes == 2
+
+    def test_file_source_with_header(self, tmp_path):
+        g = gnm_random_graph(30, 60, seed=4)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, str(path))
+        stream = EdgeStream(str(path))
+        assert stream.n == 30
+        assert sorted(stream.edges()) == sorted(g.edges())
+
+    def test_file_source_requires_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        with pytest.raises(GraphFormatError):
+            EdgeStream(str(path))
+        stream = EdgeStream(str(path), n=3)
+        assert list(stream.edges()) == [(0, 1), (1, 2)]
+
+    def test_out_of_range_edge_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 9\n")
+        stream = EdgeStream(str(path), n=3)
+        with pytest.raises(GraphFormatError):
+            list(stream.edges())
+
+
+class TestSemiExternalBDOne:
+    @pytest.mark.parametrize(
+        "graph_factory,expected",
+        [
+            (lambda: star_graph(7), 7),
+            (lambda: path_graph(9), 5),
+            (lambda: Graph.empty(5), 5),
+            (lambda: Graph.empty(0), 0),
+        ],
+    )
+    def test_known_instances(self, graph_factory, expected):
+        result = semi_external_bdone(graph_factory())
+        assert result.size == expected
+
+    def test_certificate_on_trees(self):
+        from repro.graphs import random_tree
+
+        g = random_tree(100, seed=6)
+        result = semi_external_bdone(g)
+        assert result.is_exact
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_valid_and_bounded(self, seed):
+        g = gnm_random_graph(14, 24, seed=seed)
+        result = semi_external_bdone(g)
+        assert is_maximal_independent_set(g, result.independent_set) or g.n == 0
+        alpha = brute_force_alpha(g)
+        assert result.size <= alpha <= result.upper_bound
+        if result.is_exact:
+            assert result.size == alpha
+
+    def test_quality_tracks_in_memory_bdone(self):
+        g = power_law_graph(3000, 2.2, average_degree=5, seed=10)
+        external = semi_external_bdone(g)
+        internal = bdone(g)
+        assert external.size >= 0.97 * internal.size
+
+    def test_pass_count_reported(self):
+        g = power_law_graph(1000, 2.2, average_degree=5, seed=11)
+        result = semi_external_bdone(g)
+        assert result.stats["passes"] >= 2
+        # Sub-linear pass count on power-law inputs (the model's point).
+        assert result.stats["passes"] < g.n // 10
+
+    def test_from_file_end_to_end(self, tmp_path):
+        g = gnm_random_graph(200, 300, seed=12)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, str(path))
+        result = semi_external_bdone(str(path))
+        assert is_maximal_independent_set(g, result.independent_set)

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: realistic end-to-end flows."""
+
+import pytest
+
+from repro import (
+    bdone,
+    bdtwo,
+    compute_independent_set,
+    kernelize,
+    linear_time,
+    near_linear,
+)
+from repro.analysis import (
+    complement_vertex_cover,
+    is_maximal_independent_set,
+    is_vertex_cover,
+)
+from repro.baselines import du, greedy
+from repro.bench import load, run_convergence_suite
+from repro.exact import brute_force_alpha, maximum_independent_set
+from repro.graphs import (
+    disjoint_union,
+    dumps_edge_list,
+    gnm_random_graph,
+    loads_edge_list,
+    power_law_graph,
+    power_law_sequence_graph,
+    write_metis,
+    read_metis,
+)
+from repro.localsearch import arw, arw_nl
+
+
+class TestFileToSolutionFlow:
+    def test_edge_list_round_trip_preserves_results(self):
+        g = power_law_graph(500, 2.2, average_degree=5, seed=13)
+        reloaded = loads_edge_list(dumps_edge_list(g))
+        assert near_linear(g).size == near_linear(reloaded).size
+
+    def test_metis_kernel_exact_lift(self, tmp_path):
+        g = gnm_random_graph(200, 380, seed=31)
+        path = tmp_path / "graph.metis"
+        write_metis(g, str(path))
+        reloaded = read_metis(str(path))
+        kr = kernelize(reloaded, method="near_linear")
+        if kr.kernel.n <= 40:
+            from repro.exact import brute_force_mis
+
+            lifted = kr.lift(brute_force_mis(kr.kernel))
+            exact = maximum_independent_set(g, node_budget=50_000)
+            assert len(lifted) == exact.size
+
+
+class TestVertexCoverDuality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_complement_is_cover(self, seed):
+        g = power_law_graph(800, 2.3, average_degree=6, seed=seed)
+        result = linear_time(g)
+        cover = complement_vertex_cover(g, result.independent_set)
+        assert is_vertex_cover(g, cover)
+        assert len(cover) + result.size == g.n
+
+
+class TestDisconnectedGraphs:
+    def test_components_solved_independently(self):
+        parts = [gnm_random_graph(12, 18, seed=s) for s in range(3)]
+        union = disjoint_union(parts)
+        total = sum(brute_force_alpha(p) for p in parts)
+        assert brute_force_alpha(union) == total
+        result = near_linear(union)
+        assert result.size <= total
+        assert is_maximal_independent_set(union, result.independent_set)
+
+
+class TestDatasetFlows:
+    def test_easy_dataset_all_algorithms_agree_on_validity(self):
+        g = load("GrQc-sim")
+        sizes = {}
+        for name in ("BDOne", "BDTwo", "LinearTime", "NearLinear"):
+            result = compute_independent_set(g, name)
+            assert is_maximal_independent_set(g, result.independent_set)
+            sizes[name] = result.size
+        # The reducing-peeling family is tightly clustered on easy graphs.
+        assert max(sizes.values()) - min(sizes.values()) <= 0.01 * g.n
+
+    def test_hard_dataset_kernel_survives(self):
+        g = load("eu-2005-sim")
+        kr = kernelize(g, method="near_linear")
+        assert kr.kernel.n > 0  # hard = irreducible core by construction
+
+    def test_greedy_weakest_on_datasets(self):
+        g = load("dblp-sim")
+        assert greedy(g).size <= du(g).size <= near_linear(g).size
+
+
+class TestLocalSearchIntegration:
+    def test_arw_improves_peeled_solution_on_hard_graph(self):
+        g = load("cnr-2000-sim")
+        start = bdone(g)
+        improved, recorder = arw(
+            g, start.independent_set, time_budget=0.5, seed=1, max_iterations=50
+        )
+        assert len(improved) >= start.size
+
+    def test_boosted_beats_or_matches_heuristic(self):
+        g = load("soc-pokec-sim")
+        heuristic = near_linear(g)
+        boosted = arw_nl(g, time_budget=0.5, seed=2)
+        assert boosted.size >= heuristic.size
+
+    def test_convergence_suite_smoke(self):
+        g = gnm_random_graph(300, 900, seed=77)
+        runs = run_convergence_suite(g, time_budget=0.2, seed=3)
+        assert set(runs) == {"ARW", "OnlineMIS", "ReduMIS", "ARW-LT", "ARW-NL"}
+        for run in runs.values():
+            assert run.final_size > 0
+
+
+class TestCertificateConsistencyAcrossAlgorithms:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_certified_sizes_agree(self, seed):
+        g = power_law_sequence_graph(2000, 2.2, seed=seed)
+        certified = [
+            result.size
+            for result in (bdone(g), bdtwo(g), linear_time(g), near_linear(g))
+            if result.is_exact
+        ]
+        # All certificates must agree on alpha.
+        assert len(set(certified)) <= 1

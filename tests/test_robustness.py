@@ -1,0 +1,184 @@
+"""Robustness: error propagation, adversarial inputs, determinism."""
+
+import pytest
+
+from repro import (
+    BudgetExceededError,
+    GraphError,
+    ReproError,
+    bdone,
+    bdtwo,
+    kernelize,
+    linear_time,
+    near_linear,
+)
+from repro.analysis import is_maximal_independent_set
+from repro.baselines import du, greedy, online_mis, semi_external
+from repro.exact import maximum_independent_set
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    gnm_random_graph,
+    gnp_random_graph,
+    path_graph,
+    star_graph,
+)
+
+EVERYTHING = [bdone, bdtwo, linear_time, near_linear, greedy, du, semi_external]
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("algorithm", EVERYTHING)
+    def test_zero_vertices(self, algorithm):
+        result = algorithm(Graph.empty(0))
+        assert result.size == 0
+
+    @pytest.mark.parametrize("algorithm", EVERYTHING)
+    def test_single_vertex(self, algorithm):
+        result = algorithm(Graph.empty(1))
+        assert result.independent_set == {0}
+
+    @pytest.mark.parametrize("algorithm", EVERYTHING)
+    def test_single_edge(self, algorithm):
+        result = algorithm(path_graph(2))
+        assert result.size == 1
+
+    @pytest.mark.parametrize("algorithm", EVERYTHING)
+    def test_all_isolated(self, algorithm):
+        result = algorithm(Graph.empty(100))
+        assert result.size == 100
+
+
+class TestAdversarialStructures:
+    """Graph shapes that stress specific code paths."""
+
+    def test_long_path_recursion_free(self):
+        # 20k-vertex path: the path reduction must not recurse per vertex.
+        g = path_graph(20_000)
+        result = linear_time(g)
+        assert result.size == 10_000
+        assert result.is_exact
+
+    def test_long_cycle(self):
+        g = cycle_graph(20_001)
+        result = near_linear(g)
+        assert result.size == 10_000
+        assert result.is_exact
+
+    def test_many_tiny_components(self):
+        g = disjoint_union([path_graph(3)] * 500)
+        for algorithm in (bdone, linear_time, near_linear):
+            result = algorithm(g)
+            assert result.size == 1000
+            assert result.is_exact
+
+    def test_clique_chain(self):
+        # Cliques joined by bridges: isolation + dominance territory.
+        parts = [complete_graph(5)] * 50
+        g = disjoint_union(parts)
+        result = near_linear(g)
+        assert result.size == 50
+        assert result.is_exact
+
+    def test_star_forest(self):
+        g = disjoint_union([star_graph(10)] * 100)
+        for algorithm in EVERYTHING:
+            assert algorithm(g).size == 1000
+
+    def test_dense_graph_not_pathological(self):
+        g = gnp_random_graph(150, 0.5, seed=3)
+        for algorithm in (bdone, bdtwo, linear_time, near_linear):
+            result = algorithm(g)
+            assert is_maximal_independent_set(g, result.independent_set)
+
+    def test_two_cliques_sharing_everything_but_one(self):
+        # K6 plus a pendant on each vertex: dominance-heavy.
+        from repro.graphs import isolated_clique_gadget
+
+        g = isolated_clique_gadget(6, pendants_per_vertex=3)
+        result = near_linear(g)
+        assert result.is_exact
+
+
+class TestErrorPropagation:
+    def test_generator_errors_are_graph_errors(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(3, 10)
+
+    def test_budget_error_carries_bound(self):
+        g = gnp_random_graph(70, 0.3, seed=5)
+        try:
+            maximum_independent_set(g, node_budget=1)
+        except BudgetExceededError as error:
+            assert error.best_lower > 0
+        else:  # the instance reduced away: acceptable, no error path
+            pass
+
+    def test_errors_are_repro_errors(self):
+        assert issubclass(GraphError, ReproError)
+        assert issubclass(BudgetExceededError, ReproError)
+
+    def test_unknown_kernel_method(self):
+        with pytest.raises(ReproError):
+            kernelize(path_graph(3), method="nope")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "algorithm", [bdone, bdtwo, linear_time, near_linear, greedy, du]
+    )
+    def test_same_input_same_output(self, algorithm):
+        g = gnm_random_graph(300, 900, seed=8)
+        first = algorithm(g)
+        second = algorithm(g)
+        assert first.independent_set == second.independent_set
+        assert first.stats == second.stats
+
+    def test_online_mis_deterministic_with_iteration_cap(self):
+        g = gnm_random_graph(100, 300, seed=9)
+        a = online_mis(g, time_budget=10.0, seed=4, max_iterations=5)
+        b = online_mis(g, time_budget=10.0, seed=4, max_iterations=5)
+        assert a.independent_set == b.independent_set
+
+    def test_generators_stable_across_calls(self):
+        assert gnm_random_graph(50, 100, seed=1) == gnm_random_graph(50, 100, seed=1)
+
+
+class TestRelabelingMetamorphic:
+    """Vertex relabeling must not change what the algorithms can prove."""
+
+    @staticmethod
+    def _permuted(graph, seed):
+        import random
+
+        rng = random.Random(seed)
+        mapping = list(range(graph.n))
+        rng.shuffle(mapping)
+        edges = [(mapping[u], mapping[v]) for u, v in graph.edges()]
+        return Graph.from_edges(graph.n, edges)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_certified_sizes_are_label_invariant(self, seed):
+        g = gnm_random_graph(60, 90, seed=seed)
+        h = self._permuted(g, seed * 7 + 1)
+        for algorithm in (bdone, bdtwo, linear_time, near_linear):
+            a = algorithm(g)
+            b = algorithm(h)
+            # Certified results pin down alpha; two certificates must agree.
+            if a.is_exact and b.is_exact:
+                assert a.size == b.size
+            # Valid solutions either way.
+            assert is_maximal_independent_set(g, a.independent_set)
+            assert is_maximal_independent_set(h, b.independent_set)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_solver_label_invariant(self, seed):
+        from repro.exact import maximum_independent_set
+
+        g = gnm_random_graph(22, 44, seed=seed + 40)
+        h = self._permuted(g, seed)
+        assert (
+            maximum_independent_set(g).size == maximum_independent_set(h).size
+        )

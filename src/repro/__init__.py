@@ -34,9 +34,12 @@ Package map
     Verification, metrics, memory model.
 ``repro.bench``
     Benchmark datasets and harness utilities.
+``repro.perf``
+    Performance subsystem: parallel per-component solving over flat CSR
+    buffers and the perf-regression harness (see ``docs/performance.md``).
 """
 
-from . import analysis, baselines, bench, core, exact, external, graphs, localsearch
+from . import analysis, baselines, bench, core, exact, external, graphs, localsearch, perf
 from .analysis import (
     assert_valid_solution,
     is_independent_set,
@@ -79,6 +82,7 @@ from .graphs import (
     web_like_graph,
 )
 from .localsearch import arw, arw_lt, arw_nl
+from .perf import solve_by_components_parallel
 
 __version__ = "1.0.0"
 
@@ -126,7 +130,9 @@ __all__ = [
     "maximum_independent_set",
     "minimum_vertex_cover",
     "near_linear",
+    "perf",
     "solve_by_components",
+    "solve_by_components_parallel",
     "online_mis",
     "power_law_graph",
     "read_edge_list",

@@ -21,7 +21,14 @@ __all__ = ["RunRecord", "run_algorithms", "time_call"]
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One (algorithm, graph) execution."""
+    """One (algorithm, graph) execution.
+
+    ``elapsed`` is the wall time around the call as measured by the harness;
+    ``solver_elapsed`` is the time the solver reported for itself
+    (:attr:`~repro.core.result.MISResult.elapsed`).  The difference exposes
+    wrapper overhead — result materialisation, replay, dispatch — that the
+    solver-internal clock cannot see.
+    """
 
     algorithm: str
     graph_name: str
@@ -29,6 +36,7 @@ class RunRecord:
     upper_bound: int
     is_exact: bool
     elapsed: float
+    solver_elapsed: float
     model_memory_words: int
 
 
@@ -59,6 +67,7 @@ def run_algorithms(
                 upper_bound=result.upper_bound,
                 is_exact=result.is_exact,
                 elapsed=elapsed,
+                solver_elapsed=result.elapsed,
                 model_memory_words=words,
             )
         )

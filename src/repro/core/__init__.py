@@ -22,9 +22,12 @@ from .near_linear import near_linear, near_linear_reduce
 from .result import MISResult
 from .upper_bound import certify_maximum, reducing_peeling_upper_bound
 from .vertex_cover import VCResult, minimum_vertex_cover
+from .workspace import ArrayWorkspace, FlatWorkspace
 
 __all__ = [
     "ALGORITHMS",
+    "ArrayWorkspace",
+    "FlatWorkspace",
     "KERNEL_METHODS",
     "KernelResult",
     "LPReductionResult",

@@ -85,13 +85,15 @@ def _walk(workspace, start: int, first: int) -> Tuple[List[int], Optional[int]]:
     (i.e. the structure is a cycle).
     """
     deg = workspace.deg
+    iter_live_neighbors = workspace.iter_live_neighbors
     interior: List[int] = []
+    append = interior.append
     prev, cur = start, first
     while deg[cur] == 2:
         if cur == start:
             return interior, None
-        interior.append(cur)
-        for nxt in workspace.iter_live_neighbors(cur):
+        append(cur)
+        for nxt in iter_live_neighbors(cur):
             if nxt != prev:
                 prev, cur = cur, nxt
                 break
@@ -153,21 +155,25 @@ def apply_degree_two_path_reduction(workspace, u: int) -> str:
         # vertex sees its path predecessor already decided.  Each pushed
         # vertex records its two live neighbours (path chain + anchor).
         chain = [v] + path + [w]
+        remove_silently = workspace.remove_silently
+        push_path = workspace.log.push_path
         for i in range(length - 1, 0, -1):  # path[length-1] … path[1]
             x = path[i]
-            workspace.remove_silently(x)
-            workspace.log.push_path(x, chain[i], chain[i + 2])
+            remove_silently(x)
+            push_path(x, chain[i], chain[i + 2])
         workspace.rewire(head, path[1], w)
         workspace.rewire(w, tail, head)
         workspace.refile(head)  # still degree two: future paths start here
         return RULE_ODD_NO_EDGE
     chain = [v] + path + [w]
+    remove_silently = workspace.remove_silently
+    push_path = workspace.log.push_path
     if workspace.has_live_edge(v, w):
         # Case 4: remove the whole path; anchors each lose one edge.
         for i in range(length - 1, -1, -1):
             x = path[i]
-            workspace.remove_silently(x)
-            workspace.log.push_path(x, chain[i], chain[i + 2])
+            remove_silently(x)
+            push_path(x, chain[i], chain[i + 2])
         workspace.decrement_degree(v)
         workspace.decrement_degree(w)
         return RULE_EVEN_EDGE
@@ -176,8 +182,8 @@ def apply_degree_two_path_reduction(workspace, u: int) -> str:
     # opposite anchor).
     for i in range(length - 1, -1, -1):
         x = path[i]
-        workspace.remove_silently(x)
-        workspace.log.push_path(x, chain[i], chain[i + 2])
+        remove_silently(x)
+        push_path(x, chain[i], chain[i + 2])
     workspace.rewire(v, head, w)
     workspace.rewire(w, tail, v)
     workspace.settle_new_edge(v, w)

@@ -22,6 +22,7 @@ from typing import Iterable, List, Optional, Tuple
 from ..graphs.static_graph import Graph
 from .bucket_queue import MaxDegreeSelector
 from .trace import DecisionLog
+from .workspace import compact_remap
 
 __all__ = ["TriangleWorkspace", "one_pass_dominance"]
 
@@ -81,6 +82,8 @@ class TriangleWorkspace:
         "v2",
         "dominated",
         "_selector",
+        "_nlive",
+        "_live_deg_sum",
     )
 
     def __init__(self, graph: Graph) -> None:
@@ -94,11 +97,14 @@ class TriangleWorkspace:
         self.v2: List[int] = []
         self.dominated: List[int] = []
         self._selector: Optional[MaxDegreeSelector] = None
+        self._nlive = self.n
+        self._live_deg_sum = 2 * graph.m
         self._count_triangles()
         for v in range(self.n):
             d = self.deg[v]
             if d == 0:
                 self.alive[v] = 0
+                self._nlive -= 1
                 self.log.include(v)
             elif d == 1:
                 self.v1.append(v)
@@ -206,12 +212,12 @@ class TriangleWorkspace:
 
     @property
     def live_vertex_count(self) -> int:
-        """Number of not-yet-deleted vertices."""
-        return sum(self.alive)
+        """Number of not-yet-deleted vertices (O(1), counter-maintained)."""
+        return self._nlive
 
     def live_edge_count(self) -> int:
-        """Number of live edges."""
-        return sum(self.deg[v] for v in range(self.n) if self.alive[v]) // 2
+        """Number of live edges (O(1), counter-maintained)."""
+        return self._live_deg_sum // 2
 
     # ------------------------------------------------------------------
     # Worklist pops
@@ -252,6 +258,8 @@ class TriangleWorkspace:
     def include(self, v: int) -> None:
         """Commit degree-zero ``v`` to the solution."""
         self.alive[v] = 0
+        self._nlive -= 1
+        self._live_deg_sum -= self.deg[v]
         self.log.include(v)
 
     def _refile(self, w: int) -> None:
@@ -275,6 +283,8 @@ class TriangleWorkspace:
         tri = self.tri
         deg = self.deg
         self.alive[u] = 0
+        self._nlive -= 1
+        self._live_deg_sum -= 2 * deg[u]
         if reason == "peel":
             self.log.peel(u)
         else:
@@ -316,6 +326,8 @@ class TriangleWorkspace:
         maintenance is needed — the invariant the paper exploits for the
         Figure 4(c)–(e) updates.
         """
+        self._nlive -= 1
+        self._live_deg_sum -= self.deg[v]
         for x in self.tri[v]:
             self.tri[x].pop(v, None)
         self.tri[v] = {}
@@ -374,7 +386,9 @@ class TriangleWorkspace:
         may newly dominate a neighbour.
         """
         # The path endpoint was already detached by remove_silently.
-        self.deg[v] = len(self.tri[v])
+        new_degree = len(self.tri[v])
+        self._live_deg_sum -= self.deg[v] - new_degree
+        self.deg[v] = new_degree
         self._refile(v)
         if not self.alive[v]:
             return
@@ -386,7 +400,9 @@ class TriangleWorkspace:
 
     def refile(self, v: int) -> None:
         """Public re-file hook after a degree-preserving rewiring."""
-        self.deg[v] = len(self.tri[v])
+        new_degree = len(self.tri[v])
+        self._live_deg_sum -= self.deg[v] - new_degree
+        self.deg[v] = new_degree
         self._refile(v)
 
     # ------------------------------------------------------------------
@@ -394,13 +410,11 @@ class TriangleWorkspace:
     # ------------------------------------------------------------------
     def export_kernel(self) -> Tuple[Graph, List[int]]:
         """Compacted live residual graph plus the id mapping."""
-        alive = self.alive
-        old_ids = [v for v in range(self.n) if alive[v]]
-        new_id = {old: new for new, old in enumerate(old_ids)}
+        remap, old_ids = compact_remap(self.alive, self.n)
         offsets = [0]
         targets: List[int] = []
         for old in old_ids:
-            row = sorted(new_id[w] for w in self.tri[old])
+            row = sorted(remap[w] for w in self.tri[old])
             targets.extend(row)
             offsets.append(len(targets))
         name = f"{self.graph.name}-kernel" if self.graph.name else "kernel"

@@ -11,59 +11,203 @@ Because paths are consumed wholesale, the total work over all path
 reductions is bounded by the number of removed directed edges, keeping the
 whole algorithm at O(m) time and 2m + O(n) space — the same budget as BDOne
 but with solution quality close to BDTwo.
+
+As in :mod:`repro.core.bdone`, two execution paths share the decision
+semantics: :func:`_reduce` drives any workspace through the public mutation
+protocol, while :func:`_reduce_flat` binds the
+:class:`~repro.core.workspace.FlatWorkspace` buffers to locals and fuses
+the degree-one cascade, deletions and log appends (the degree-two path
+reductions stay in the shared Lemma 4.1 driver).  The decision logs are
+identical either way.
 """
 
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graphs.static_graph import Graph
 from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .result import MISResult
-from .trace import DecisionLog
-from .workspace import ArrayWorkspace
+from .trace import EXCLUDE, INCLUDE, PEEL, DecisionLog
+from .workspace import FlatWorkspace
 
 __all__ = ["linear_time", "linear_time_reduce"]
 
 
-def _reduce(workspace: ArrayWorkspace, stop_before_peel: bool) -> bool:
-    """Run the LinearTime reduction loop.
+def _reduce(workspace, stop_before_peel: bool) -> bool:
+    """Run the LinearTime reduction loop on any workspace backend.
 
     Returns ``True`` when the graph was fully consumed, ``False`` when the
     loop stopped at the first would-be peel (``stop_before_peel``).
     """
     log = workspace.log
+    pop_degree_one = workspace.pop_degree_one
+    pop_degree_two = workspace.pop_degree_two
+    pop_max_degree = workspace.pop_max_degree
+    delete_vertex = workspace.delete_vertex
+    iter_live_neighbors = workspace.iter_live_neighbors
+    bump = log.bump
     while True:
-        u = workspace.pop_degree_one()
+        u = pop_degree_one()
         if u is not None:
-            for v in workspace.iter_live_neighbors(u):
-                workspace.delete_vertex(v, "exclude")
+            for v in iter_live_neighbors(u):
+                delete_vertex(v, "exclude")
                 break
-            log.bump("degree-one")
+            bump("degree-one")
             continue
-        u = workspace.pop_degree_two()
+        u = pop_degree_two()
         if u is not None:
             rule = apply_degree_two_path_reduction(workspace, u)
             if rule != RULE_IRREDUCIBLE:
-                log.bump(rule)
+                bump(rule)
             continue
-        u = workspace.pop_max_degree()
+        u = pop_max_degree()
         if u is None:
             return True
         if stop_before_peel:
             # Put the vertex back conceptually: the kernel snapshot below
             # still contains it, so nothing further is needed.
             return False
-        workspace.delete_vertex(u, "peel")
-        log.bump("peel")
+        delete_vertex(u, "peel")
+        bump("peel")
 
 
-def linear_time(graph: Graph) -> MISResult:
-    """Compute a maximal independent set of ``graph`` with LinearTime."""
+def _reduce_flat(workspace: FlatWorkspace, stop_before_peel: bool) -> bool:
+    """The same loop specialized to the flat CSR buffers.
+
+    The degree-one rule, the deletions and the peels operate on locals
+    (``adj``/``deg``/``alive``/worklists) and append decision entries
+    directly; rule counters are accumulated locally and committed to the
+    log in one batch when the loop exits.
+    """
+    log = workspace.log
+    append_entry = log.entries.append
+    adj = workspace.adj
+    xadj = workspace.xadj
+    deg = workspace.deg
+    alive = workspace.alive
+    v1 = workspace.v1
+    v2 = workspace.v2
+    v1_pop = v1.pop
+    v2_pop = v2.pop
+    v1_append = v1.append
+    v2_append = v2.append
+    pop_max_degree = workspace.pop_max_degree
+    dead = 0
+    deg_sum_drop = 0
+    degree_one_count = 0
+    peel_count = 0
+    rule_counts: Dict[str, int] = {}
+    consumed = True
+    while True:
+        # --- degree-one rule: delete the sole live neighbour of u ------
+        u = -1
+        while v1:
+            x = v1_pop()
+            if alive[x] and deg[x] == 1:
+                u = x
+                break
+        if u >= 0:
+            for v in adj[xadj[u] : xadj[u + 1]]:
+                if alive[v]:
+                    break
+            alive[v] = 0
+            dead += 1
+            deg_sum_drop += 2 * deg[v]
+            append_entry((EXCLUDE, (v,)))
+            for w in adj[xadj[v] : xadj[v + 1]]:
+                if alive[w]:
+                    d = deg[w] - 1
+                    deg[w] = d
+                    if d == 1:
+                        v1_append(w)
+                    elif d == 2:
+                        v2_append(w)
+                    elif d == 0:
+                        alive[w] = 0
+                        dead += 1
+                        append_entry((INCLUDE, (w,)))
+            degree_one_count += 1
+            continue
+        # --- degree-two path reductions (shared Lemma 4.1 driver) ------
+        u = -1
+        while v2:
+            x = v2_pop()
+            if alive[x] and deg[x] == 2:
+                u = x
+                break
+        if u >= 0:
+            # The shared driver mutates through workspace methods, which
+            # maintain the live counters themselves — flush the local
+            # deltas first so the workspace state it sees is consistent.
+            workspace._nlive -= dead
+            workspace._live_deg_sum -= deg_sum_drop
+            dead = 0
+            deg_sum_drop = 0
+            rule = apply_degree_two_path_reduction(workspace, u)
+            if rule != RULE_IRREDUCIBLE:
+                rule_counts[rule] = rule_counts.get(rule, 0) + 1
+            continue
+        # --- peel the maximum-degree vertex ----------------------------
+        u = pop_max_degree()
+        if u is None:
+            break
+        if stop_before_peel:
+            # Put the vertex back conceptually: the kernel snapshot below
+            # still contains it, so nothing further is needed.
+            consumed = False
+            break
+        alive[u] = 0
+        dead += 1
+        deg_sum_drop += 2 * deg[u]
+        append_entry((PEEL, (u,)))
+        for w in adj[xadj[u] : xadj[u + 1]]:
+            if alive[w]:
+                d = deg[w] - 1
+                deg[w] = d
+                if d == 1:
+                    v1_append(w)
+                elif d == 2:
+                    v2_append(w)
+                elif d == 0:
+                    alive[w] = 0
+                    dead += 1
+                    append_entry((INCLUDE, (w,)))
+        peel_count += 1
+    workspace._nlive -= dead
+    workspace._live_deg_sum -= deg_sum_drop
+    if degree_one_count:
+        log.bump("degree-one", degree_one_count)
+    for rule, count in rule_counts.items():
+        log.bump(rule, count)
+    if peel_count:
+        log.bump("peel", peel_count)
+    return consumed
+
+
+def _run(workspace, stop_before_peel: bool) -> bool:
+    """Dispatch to the specialized or the generic reduction loop."""
+    if type(workspace) is FlatWorkspace:
+        return _reduce_flat(workspace, stop_before_peel)
+    return _reduce(workspace, stop_before_peel)
+
+
+def linear_time(
+    graph: Graph,
+    workspace_factory: Optional[Callable[..., object]] = None,
+) -> MISResult:
+    """Compute a maximal independent set of ``graph`` with LinearTime.
+
+    ``workspace_factory`` selects the mutable-state backend (default
+    :class:`~repro.core.workspace.FlatWorkspace`; pass
+    :class:`~repro.core.workspace.ArrayWorkspace` for the list-of-lists
+    oracle — both yield identical decision logs).
+    """
     start = time.perf_counter()
-    workspace = ArrayWorkspace(graph, track_degree_two=True)
-    _reduce(workspace, stop_before_peel=False)
+    factory = FlatWorkspace if workspace_factory is None else workspace_factory
+    workspace = factory(graph, track_degree_two=True)
+    _run(workspace, stop_before_peel=False)
     outcome = workspace.log.replay(graph)
     return MISResult(
         algorithm="LinearTime",
@@ -80,6 +224,7 @@ def linear_time(graph: Graph) -> MISResult:
 
 def linear_time_reduce(
     graph: Graph,
+    workspace_factory: Optional[Callable[..., object]] = None,
 ) -> Tuple[Graph, List[int], DecisionLog]:
     """Kernelize ``graph`` with LinearTime's exact rules only (no peeling).
 
@@ -88,7 +233,8 @@ def linear_time_reduce(
     a solution for the kernel is known.  Used by ARW-LT (Section 6) and the
     Eval-III kernel comparison.
     """
-    workspace = ArrayWorkspace(graph, track_degree_two=True)
-    _reduce(workspace, stop_before_peel=True)
+    factory = FlatWorkspace if workspace_factory is None else workspace_factory
+    workspace = factory(graph, track_degree_two=True)
+    _run(workspace, stop_before_peel=True)
     kernel, old_ids = workspace.export_kernel()
     return kernel, old_ids, workspace.log

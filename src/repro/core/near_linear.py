@@ -35,36 +35,47 @@ __all__ = ["near_linear", "near_linear_reduce"]
 def _main_loop(workspace: TriangleWorkspace, stop_before_peel: bool) -> bool:
     """Run Algorithm 5's reduction loop.
 
+    Worklist pops, deletions and counter bumps are bound to locals at loop
+    entry — the loop body runs once per reduction, so the attribute lookups
+    would otherwise be paid O(n) times.
+
     Returns ``True`` when the graph was fully consumed, ``False`` when the
     loop stopped at the first would-be peel.
     """
     log = workspace.log
+    pop_degree_one = workspace.pop_degree_one
+    pop_degree_two = workspace.pop_degree_two
+    pop_dominated = workspace.pop_dominated
+    pop_max_degree = workspace.pop_max_degree
+    delete_vertex = workspace.delete_vertex
+    iter_live_neighbors = workspace.iter_live_neighbors
+    bump = log.bump
     while True:
-        u = workspace.pop_degree_one()
+        u = pop_degree_one()
         if u is not None:
-            for v in workspace.iter_live_neighbors(u):
-                workspace.delete_vertex(v, "exclude")
+            for v in iter_live_neighbors(u):
+                delete_vertex(v, "exclude")
                 break
-            log.bump("degree-one")
+            bump("degree-one")
             continue
-        u = workspace.pop_degree_two()
+        u = pop_degree_two()
         if u is not None:
             rule = apply_degree_two_path_reduction(workspace, u)
             if rule != RULE_IRREDUCIBLE:
-                log.bump(rule)
+                bump(rule)
             continue
-        u = workspace.pop_dominated()
+        u = pop_dominated()
         if u is not None:
-            workspace.delete_vertex(u, "exclude")
-            log.bump("dominance")
+            delete_vertex(u, "exclude")
+            bump("dominance")
             continue
-        u = workspace.pop_max_degree()
+        u = pop_max_degree()
         if u is None:
             return True
         if stop_before_peel:
             return False
-        workspace.delete_vertex(u, "peel")
-        log.bump("peel")
+        delete_vertex(u, "peel")
+        bump("peel")
 
 
 def _preprocess(graph: Graph, log: DecisionLog, preprocess: bool) -> Tuple[Graph, List[int]]:
@@ -92,16 +103,25 @@ def _preprocess(graph: Graph, log: DecisionLog, preprocess: bool) -> Tuple[Graph
     return half, [ids[v] for v in half_ids]
 
 
-def near_linear(graph: Graph, preprocess: bool = True) -> MISResult:
+def near_linear(
+    graph: Graph,
+    preprocess: bool = True,
+    workspace_factory=None,
+) -> MISResult:
     """Compute a maximal independent set of ``graph`` with NearLinear.
 
     ``preprocess=False`` skips the one-pass dominance and LP phases (used
     by ablation benchmarks; the paper's algorithm runs both).
+    ``workspace_factory`` overrides the main-loop workspace constructor
+    (default :class:`~repro.core.dominance.TriangleWorkspace`; the
+    replacement must implement the dominance protocol — the hook exists so
+    differential tests can pin the oracle explicitly).
     """
     start = time.perf_counter()
     log = DecisionLog()
     residual, ids = _preprocess(graph, log, preprocess)
-    workspace = TriangleWorkspace(residual)
+    factory = TriangleWorkspace if workspace_factory is None else workspace_factory
+    workspace = factory(residual)
     _main_loop(workspace, stop_before_peel=False)
     log.extend_mapped(workspace.log, ids)
     outcome = log.replay(graph)
@@ -119,7 +139,7 @@ def near_linear(graph: Graph, preprocess: bool = True) -> MISResult:
 
 
 def near_linear_reduce(
-    graph: Graph, preprocess: bool = True
+    graph: Graph, preprocess: bool = True, workspace_factory=None
 ) -> Tuple[Graph, List[int], DecisionLog]:
     """Kernelize ``graph`` with NearLinear's exact rules only (no peeling).
 
@@ -130,7 +150,8 @@ def near_linear_reduce(
     """
     log = DecisionLog()
     residual, ids = _preprocess(graph, log, preprocess)
-    workspace = TriangleWorkspace(residual)
+    factory = TriangleWorkspace if workspace_factory is None else workspace_factory
+    workspace = factory(residual)
     _main_loop(workspace, stop_before_peel=True)
     log.extend_mapped(workspace.log, ids)
     kernel, kernel_ids = workspace.export_kernel()

@@ -19,17 +19,27 @@ after which the solution is extended to a maximal independent set
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Dict, List, Tuple
 
 from ..graphs.static_graph import Graph
 
-__all__ = ["DecisionLog", "ReplayOutcome"]
+__all__ = ["DecisionLog", "ReplayOutcome", "INCLUDE", "EXCLUDE", "PEEL", "PATH", "FOLD"]
 
-_INCLUDE = 0
-_EXCLUDE = 1
-_PEEL = 2
-_PATH = 3
-_FOLD = 4
+#: Entry kinds, public so the specialized flat-buffer drivers can append
+#: entries directly (one tuple per decision) instead of paying a method
+#: call per reduction; :meth:`DecisionLog.replay` is the only consumer.
+INCLUDE = 0
+EXCLUDE = 1
+PEEL = 2
+PATH = 3
+FOLD = 4
+
+_INCLUDE = INCLUDE
+_EXCLUDE = EXCLUDE
+_PEEL = PEEL
+_PATH = PATH
+_FOLD = FOLD
 
 
 class ReplayOutcome:
@@ -45,7 +55,7 @@ class ReplayOutcome:
     @property
     def vertices(self) -> frozenset:
         """The solution as a frozenset of vertex ids."""
-        return frozenset(v for v, flag in enumerate(self.in_set) if flag)
+        return frozenset(compress(range(len(self.in_set)), self.in_set))
 
     @property
     def upper_bound(self) -> int:
@@ -125,6 +135,16 @@ class DecisionLog:
     # Introspection (used by tests)
     # ------------------------------------------------------------------
     @property
+    def entries(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """The raw chronological entry list ``[(kind, vertex-tuple), …]``.
+
+        Exposed for the specialized drivers (which append to it directly in
+        their hot loops) and for differential tests that assert two backends
+        made byte-identical decision sequences.  Treat as append-only.
+        """
+        return self._entries
+
+    @property
     def peel_count(self) -> int:
         """How many peel entries were recorded."""
         return sum(1 for kind, _ in self._entries if kind == _PEEL)
@@ -187,8 +207,16 @@ class DecisionLog:
                 else:
                     in_set[u] = True
         if extend_maximal:
+            # Scan over the flat CSR buffers: per-vertex neighbourhood-tuple
+            # materialisation would dominate replay on large graphs.
+            offsets, targets = graph.flat_csr()
             for v in range(n):
-                if not in_set[v] and not any(in_set[x] for x in graph.neighbors(v)):
+                if in_set[v]:
+                    continue
+                for i in range(offsets[v], offsets[v + 1]):
+                    if in_set[targets[i]]:
+                        break
+                else:
                     in_set[v] = True
         surviving = sum(1 for v in peeled_vertices if not in_set[v])
         return ReplayOutcome(in_set, len(peeled_vertices), surviving)

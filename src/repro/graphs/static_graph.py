@@ -16,8 +16,9 @@ per-algorithm workspaces (run time).
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from ..errors import VertexError
 
@@ -42,11 +43,12 @@ class Graph:
     both validate and normalise their input, the constructor trusts it.
     """
 
-    __slots__ = ("_offsets", "_targets", "name")
+    __slots__ = ("_offsets", "_targets", "_flat", "name")
 
     def __init__(self, offsets: Sequence[int], targets: Sequence[int], name: str = "") -> None:
         self._offsets: Tuple[int, ...] = tuple(offsets)
         self._targets: Tuple[int, ...] = tuple(targets)
+        self._flat: Optional[Tuple[array, array]] = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -180,6 +182,20 @@ class Graph:
         matrix without re-walking the adjacency).
         """
         return self._offsets, self._targets
+
+    def flat_csr(self) -> Tuple[array, array]:
+        """The CSR layout as flat numeric buffers ``(offsets, targets)``.
+
+        ``offsets`` is an ``array('q')`` of length ``n + 1`` and ``targets``
+        an ``array('i')`` of length ``2m`` — exactly the 2m + O(n) words of
+        the paper's accounting, with no per-vertex Python list objects.
+        The arrays are built once and cached on the graph; they are shared,
+        so callers that mutate (the run-time workspaces) must take a copy
+        (``targets[:]`` is a C-level memcpy).
+        """
+        if self._flat is None:
+            self._flat = (array("q", self._offsets), array("i", self._targets))
+        return self._flat
 
     def adjacency_lists(self) -> list[list[int]]:
         """A fresh mutable list-of-lists copy of the adjacency structure."""

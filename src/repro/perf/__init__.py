@@ -1,0 +1,21 @@
+"""Performance subsystem: parallel per-component driving and regression tracking.
+
+Two pieces live here:
+
+* :func:`solve_by_components_parallel` — the multiprocessing twin of
+  :func:`repro.core.components.solve_by_components`.  Components above a
+  size threshold are shipped to worker processes as flat CSR byte buffers
+  (no per-vertex Python objects cross the process boundary) and solved
+  concurrently; small components are solved inline.  The merged result is
+  field-for-field identical to the serial driver's, modulo the algorithm
+  label and wall time.
+* :mod:`repro.perf.bench_regression` — the perf-regression harness.  It
+  times the flat-buffer backend against the list-of-lists oracle on seeded
+  generator graphs, records kernel sizes and live-counter costs, writes a
+  JSON report, and can compare a fresh run against a committed baseline
+  (used by the CI ``perf-smoke`` job).
+"""
+
+from .parallel import DEFAULT_PARALLEL_THRESHOLD, solve_by_components_parallel
+
+__all__ = ["DEFAULT_PARALLEL_THRESHOLD", "solve_by_components_parallel"]

@@ -1,0 +1,257 @@
+"""Perf-regression harness: flat backend vs. oracle, tracked over time.
+
+Runs the reducing-peeling algorithms on seeded generator graphs (so every
+run sees byte-identical inputs), timing the flat-buffer backend
+(:class:`~repro.core.workspace.FlatWorkspace`) against the list-of-lists
+oracle (:class:`~repro.core.workspace.ArrayWorkspace`), and writes a JSON
+report.  The report also records kernel sizes (so a rule regression shows
+up as a kernel-size diff, not just a timing blip) and the per-call cost of
+the maintained live counters next to an O(n)-scan reference.
+
+Usage::
+
+    python -m repro.perf.bench_regression                  # full suite
+    python -m repro.perf.bench_regression --quick          # CI-sized suite
+    python -m repro.perf.bench_regression --quick \
+        --out bench_quick.json --compare BENCH_PR1.json    # regression gate
+
+``--compare`` checks the fresh run against a committed baseline and exits
+nonzero when LinearTime's flat-backend wall time regressed by more than
+``--max-regression`` (a ratio; 2.0 means "twice as slow") on any graph
+present in both reports.  Only graphs in the intersection are compared, so
+a ``--quick`` run gates cleanly against a full-suite baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.bdone import bdone
+from ..core.linear_time import linear_time, linear_time_reduce
+from ..core.near_linear import near_linear, near_linear_reduce
+from ..core.workspace import ArrayWorkspace, FlatWorkspace
+from ..graphs.generators import gnm_random_graph, power_law_graph, web_like_graph
+from ..graphs.static_graph import Graph
+
+__all__ = ["build_suite", "run_suite", "compare_reports", "main"]
+
+SCHEMA_VERSION = 1
+
+# The algorithm the CI gate watches: the paper's headline contribution.
+GATED_ALGORITHM = "LinearTime"
+
+# name -> (factory, run NearLinear + kernels on it?)
+_SUITES: Dict[str, List[Tuple[str, Callable[[], Graph], bool]]] = {
+    "smoke": [
+        ("plr-300", lambda: power_law_graph(300, beta=2.3, average_degree=5.0, seed=1), True),
+        ("gnm-400", lambda: gnm_random_graph(400, 1200, seed=2), True),
+    ],
+    "quick": [
+        ("plr-4k", lambda: power_law_graph(4_000, beta=2.2, average_degree=6.0, seed=3), True),
+        ("gnm-3k", lambda: gnm_random_graph(3_000, 9_000, seed=4), True),
+        ("web-3k", lambda: web_like_graph(3_000, attach=3, seed=5), True),
+    ],
+}
+_SUITES["full"] = _SUITES["quick"] + [
+    # The big one: NearLinear and the kernel exports are skipped here to
+    # keep the full suite under a minute; the backend comparison is not.
+    ("plr-50k", lambda: power_law_graph(50_000, beta=2.2, average_degree=6.0, seed=7), False),
+]
+
+
+def build_suite(name: str) -> List[Tuple[str, Graph, bool]]:
+    """Materialise the named suite's graphs (deterministic: seeded)."""
+    return [(gname, factory(), deep) for gname, factory, deep in _SUITES[name]]
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[object, float]:
+    """Run ``fn`` ``repeats`` times; return (last result, best wall time)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _time_backends(
+    algorithm: Callable[..., object], graph: Graph, repeats: int
+) -> Dict[str, float]:
+    """Time ``algorithm`` end-to-end under both workspace backends."""
+    flat_result, flat_wall = _best_of(lambda: algorithm(graph), repeats)
+    array_result, array_wall = _best_of(
+        lambda: algorithm(graph, workspace_factory=ArrayWorkspace), repeats
+    )
+    assert flat_result.independent_set == array_result.independent_set
+    return {
+        "flat_wall": flat_wall,
+        "array_wall": array_wall,
+        "flat_solver": flat_result.elapsed,
+        "array_solver": array_result.elapsed,
+        "speedup": array_wall / flat_wall if flat_wall > 0 else float("inf"),
+        "size": len(flat_result.independent_set),
+        "upper_bound": flat_result.upper_bound,
+    }
+
+
+def _counter_timings(graph: Graph, calls: int = 20_000) -> Dict[str, float]:
+    """Per-call cost (µs) of the maintained live counters vs. an O(n) scan."""
+    workspace = FlatWorkspace(graph, track_degree_two=True)
+    start = time.perf_counter()
+    for _ in range(calls):
+        workspace.live_vertex_count
+        workspace.live_edge_count()
+    maintained = (time.perf_counter() - start) / calls * 1e6
+
+    alive = workspace.alive
+    deg = workspace.deg
+    scan_calls = max(1, calls // 200)  # the scan is ~n times slower; sample it
+    start = time.perf_counter()
+    for _ in range(scan_calls):
+        sum(alive)
+        sum(d for d, a in zip(deg, alive) if a) // 2
+    scan = (time.perf_counter() - start) / scan_calls * 1e6
+    return {"maintained_us": maintained, "scan_us": scan, "calls": calls}
+
+
+def run_suite(suite: str, repeats: int) -> Dict[str, object]:
+    """Run the named suite; return the JSON-serialisable report."""
+    report: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "graphs": {},
+        "timings": {},
+        "kernels": {},
+    }
+    largest: Optional[Graph] = None
+    for gname, graph, deep in build_suite(suite):
+        report["graphs"][gname] = {"n": graph.n, "m": graph.m}
+        if largest is None or graph.n > largest.n:
+            largest = graph
+        timings: Dict[str, object] = {
+            "BDOne": _time_backends(bdone, graph, repeats),
+            "LinearTime": _time_backends(linear_time, graph, repeats),
+        }
+        if deep:
+            nl_result, nl_wall = _best_of(lambda: near_linear(graph), repeats)
+            timings["NearLinear"] = {
+                "wall": nl_wall,
+                "solver": nl_result.elapsed,
+                "size": len(nl_result.independent_set),
+                "upper_bound": nl_result.upper_bound,
+            }
+        report["timings"][gname] = timings
+        kernel, _, _ = linear_time_reduce(graph)
+        kernels = {"linear_time": {"n": kernel.n, "m": kernel.m}}
+        if deep:
+            nl_kernel, _, _ = near_linear_reduce(graph)
+            kernels["near_linear"] = {"n": nl_kernel.n, "m": nl_kernel.m}
+        report["kernels"][gname] = kernels
+    if largest is not None:
+        report["live_counters"] = _counter_timings(largest)
+    return report
+
+
+def compare_reports(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    max_regression: float,
+) -> List[str]:
+    """Return regression messages (empty when the gate passes).
+
+    Compares the gated algorithm's flat-backend wall time per graph, over
+    the intersection of graphs in both reports.
+    """
+    failures: List[str] = []
+    base_timings = baseline.get("timings", {})
+    cur_timings = current.get("timings", {})
+    shared = sorted(set(base_timings) & set(cur_timings))
+    if not shared:
+        return [
+            "no graphs in common between baseline and current report; "
+            "cannot gate (baseline suite: %s, current suite: %s)"
+            % (baseline.get("suite"), current.get("suite"))
+        ]
+    for gname in shared:
+        base = base_timings[gname].get(GATED_ALGORITHM)
+        cur = cur_timings[gname].get(GATED_ALGORITHM)
+        if not base or not cur:
+            continue
+        base_wall = base["flat_wall"]
+        cur_wall = cur["flat_wall"]
+        if base_wall <= 0:
+            continue
+        ratio = cur_wall / base_wall
+        if ratio > max_regression:
+            failures.append(
+                f"{GATED_ALGORITHM} on {gname}: {cur_wall:.4f}s vs baseline "
+                f"{base_wall:.4f}s ({ratio:.2f}x > {max_regression:.2f}x allowed)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench_regression", description=__doc__
+    )
+    parser.add_argument(
+        "--suite", choices=sorted(_SUITES), default="full", help="graph suite to run"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shorthand for --suite quick"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="shorthand for --suite smoke (tests)"
+    )
+    parser.add_argument("--out", default="bench_report.json", help="report path")
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE", help="baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when the gated wall time exceeds baseline by this ratio",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    args = parser.parse_args(argv)
+
+    suite = "smoke" if args.smoke else "quick" if args.quick else args.suite
+    report = run_suite(suite, max(1, args.repeats))
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for gname, timings in report["timings"].items():
+        line = [gname]
+        for alg, rec in timings.items():
+            if "speedup" in rec:
+                line.append(f"{alg} flat {rec['flat_wall']:.4f}s ({rec['speedup']:.2f}x)")
+            else:
+                line.append(f"{alg} {rec['wall']:.4f}s")
+        print("  ".join(line))
+    print(f"report written to {args.out}")
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        failures = compare_reports(baseline, report, args.max_regression)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION: {message}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed against {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

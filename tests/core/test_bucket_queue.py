@@ -100,3 +100,64 @@ class TestMinDegreeSelector:
         assert selector.pop_min() == 0
         alive[0] = 0
         assert selector.pop_min() is None
+
+
+class TestLazyInvariants:
+    """The lazy-update contracts the algorithms rely on (Section 3.2)."""
+
+    def test_stale_max_entry_relocates_then_pops_at_true_degree(self):
+        # A decrement leaves the old bucket entry in place; pop must move it
+        # down (not return it at the stale degree) and find it again later.
+        degrees = [5, 3]
+        alive = bytearray([1, 1])
+        selector = MaxDegreeSelector(degrees, alive)
+        degrees[0] = 2
+        assert selector.pop_max() == 1  # 3 beats relocated 2
+        alive[1] = 0
+        assert selector.pop_max() == 0  # found again in bucket 2
+
+    def test_notify_increase_repush_drops_stale_copy(self):
+        # After notify_increase the vertex has two bucket entries; the fresh
+        # high one is popped first and the stale low one (d > current when
+        # reached) must be dropped, not relocated or returned.
+        degrees = [4, 3]
+        alive = bytearray([1, 1])
+        selector = MaxDegreeSelector(degrees, alive)
+        degrees[0] = 6
+        selector.notify_increase(0)
+        assert selector.pop_max() == 0  # fresh copy at degree 6
+        # 0 stays alive: the stale copy in bucket 4 is now reachable.
+        assert selector.pop_max() == 1  # stale 0 dropped, not re-returned
+
+    def test_repeated_increase_decrease_cycle(self):
+        degrees = [2]
+        alive = bytearray([1])
+        selector = MaxDegreeSelector(degrees, alive)
+        degrees[0] = 5
+        selector.notify_increase(0)
+        degrees[0] = 1  # decreased again before any pop
+        assert selector.pop_max() == 0  # relocated from 5 (and from 2) to 1
+        alive[0] = 0
+        assert selector.pop_max() is None
+
+    def test_max_empty_graph_pops_none_repeatedly(self):
+        selector = MaxDegreeSelector([], bytearray())
+        assert selector.pop_max() is None
+        assert selector.pop_max() is None
+
+    def test_min_empty_graph_pops_none_repeatedly(self):
+        selector = MinDegreeSelector([], bytearray())
+        assert selector.pop_min() is None
+        assert selector.pop_min() is None
+
+    def test_min_stale_entry_above_true_bucket_never_returned_stale(self):
+        degrees = [4, 2]
+        alive = bytearray([1, 1])
+        selector = MinDegreeSelector(degrees, alive)
+        degrees[0] = 1
+        selector.notify_decrease(0)
+        assert selector.pop_min() == 0  # fresh copy at 1, not stale 4
+        alive[0] = 0
+        assert selector.pop_min() == 1
+        alive[1] = 0
+        assert selector.pop_min() is None

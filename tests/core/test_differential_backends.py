@@ -1,0 +1,101 @@
+"""Differential tests: flat-buffer backend vs. the list-of-lists oracle.
+
+The specialized drivers in :mod:`repro.core.bdone` and
+:mod:`repro.core.linear_time` must make *byte-identical* decision sequences
+to the generic loop over :class:`~repro.core.workspace.ArrayWorkspace` —
+same independent set, same Theorem-6.1 bound, same rule stats, same raw
+decision-log entries.  These tests sweep >100 seeded generator graphs and
+assert exactly that; NearLinear (whose TriangleWorkspace has no flat twin)
+is checked for validity and determinism on the same inputs.
+"""
+
+import pytest
+
+from repro.analysis import assert_valid_solution
+from repro.core.bdone import bdone
+from repro.core.linear_time import linear_time, linear_time_reduce
+from repro.core.near_linear import near_linear
+from repro.core.workspace import ArrayWorkspace
+from repro.exact import brute_force_mis
+from repro.graphs.generators import (
+    gnm_random_graph,
+    power_law_graph,
+    web_like_graph,
+)
+
+
+def _graph_corpus():
+    """>100 small seeded graphs spanning the generator families."""
+    graphs = []
+    for seed in range(40):
+        graphs.append(gnm_random_graph(30 + seed, 2 * (30 + seed), seed=seed))
+    for seed in range(40):
+        graphs.append(
+            power_law_graph(40 + seed, beta=2.1 + (seed % 5) * 0.2,
+                            average_degree=3.0 + (seed % 4), seed=seed)
+        )
+    for seed in range(25):
+        graphs.append(web_like_graph(35 + seed, attach=2 + seed % 3, seed=seed))
+    return graphs
+
+
+CORPUS = _graph_corpus()
+
+
+def test_corpus_is_large_enough():
+    assert len(CORPUS) >= 100
+
+
+@pytest.mark.parametrize("algorithm", [bdone, linear_time])
+def test_backends_agree_everywhere(algorithm):
+    for graph in CORPUS:
+        flat = algorithm(graph)
+        oracle = algorithm(graph, workspace_factory=ArrayWorkspace)
+        assert flat.independent_set == oracle.independent_set, graph.name
+        assert flat.upper_bound == oracle.upper_bound, graph.name
+        assert flat.peeled == oracle.peeled, graph.name
+        assert flat.surviving_peels == oracle.surviving_peels, graph.name
+        assert flat.is_exact == oracle.is_exact, graph.name
+        assert flat.stats == oracle.stats, graph.name
+        assert_valid_solution(graph, flat.independent_set)
+
+
+def test_linear_time_decision_logs_identical():
+    # Stronger than result equality: the raw chronological decision entries
+    # must match tuple-for-tuple (the kernel and id maps then match too).
+    for graph in CORPUS:
+        k_flat, ids_flat, log_flat = linear_time_reduce(graph)
+        k_arr, ids_arr, log_arr = linear_time_reduce(
+            graph, workspace_factory=ArrayWorkspace
+        )
+        assert log_flat.entries == log_arr.entries
+        assert log_flat.stats == log_arr.stats
+        assert ids_flat == ids_arr
+        assert k_flat.n == k_arr.n and k_flat.m == k_arr.m
+
+
+def test_near_linear_valid_and_deterministic():
+    for graph in CORPUS[::5]:
+        first = near_linear(graph)
+        second = near_linear(graph)
+        assert_valid_solution(graph, first.independent_set)
+        assert first.independent_set == second.independent_set
+        assert first.stats == second.stats
+
+
+def test_exact_flags_honest_on_tiny_graphs():
+    # Where brute force is affordable, a certified-exact result must match
+    # the true independence number — for every algorithm and both backends.
+    for seed in range(8):
+        graph = gnm_random_graph(14, 24, seed=seed)
+        alpha = len(brute_force_mis(graph))
+        for result in (
+            bdone(graph),
+            bdone(graph, workspace_factory=ArrayWorkspace),
+            linear_time(graph),
+            linear_time(graph, workspace_factory=ArrayWorkspace),
+            near_linear(graph),
+        ):
+            assert len(result.independent_set) <= alpha
+            if result.is_exact:
+                assert len(result.independent_set) == alpha

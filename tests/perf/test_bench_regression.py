@@ -1,0 +1,83 @@
+"""Tests for the perf-regression harness (smoke suite only — fast)."""
+
+import copy
+import json
+
+from repro.perf import bench_regression
+
+
+def test_smoke_suite_writes_report(tmp_path):
+    out = tmp_path / "report.json"
+    code = bench_regression.main(
+        ["--smoke", "--out", str(out), "--repeats", "1"]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == bench_regression.SCHEMA_VERSION
+    assert report["suite"] == "smoke"
+    for gname in report["graphs"]:
+        timings = report["timings"][gname]
+        for algorithm in ("BDOne", "LinearTime"):
+            rec = timings[algorithm]
+            assert rec["flat_wall"] > 0
+            assert rec["array_wall"] > 0
+            assert rec["speedup"] > 0
+        assert report["kernels"][gname]["linear_time"]["n"] >= 0
+    counters = report["live_counters"]
+    assert counters["maintained_us"] > 0
+    assert counters["scan_us"] > 0
+
+
+def test_compare_self_passes(tmp_path):
+    out = tmp_path / "report.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    failures = bench_regression.compare_reports(report, report, max_regression=2.0)
+    assert failures == []
+
+
+def test_compare_detects_regression(tmp_path):
+    out = tmp_path / "report.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    tampered = copy.deepcopy(report)
+    for gname in tampered["timings"]:
+        rec = tampered["timings"][gname][bench_regression.GATED_ALGORITHM]
+        rec["flat_wall"] = rec["flat_wall"] / 10.0  # baseline 10x faster
+    failures = bench_regression.compare_reports(tampered, report, max_regression=2.0)
+    assert failures
+    assert any(bench_regression.GATED_ALGORITHM in f for f in failures)
+
+
+def test_compare_gate_exit_code(tmp_path):
+    out = tmp_path / "report.json"
+    baseline = tmp_path / "baseline.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    for gname in report["timings"]:
+        rec = report["timings"][gname][bench_regression.GATED_ALGORITHM]
+        rec["flat_wall"] = rec["flat_wall"] / 100.0
+    baseline.write_text(json.dumps(report))
+    code = bench_regression.main(
+        [
+            "--smoke",
+            "--out",
+            str(out),
+            "--repeats",
+            "1",
+            "--compare",
+            str(baseline),
+            "--max-regression",
+            "2.0",
+        ]
+    )
+    assert code == 1
+
+
+def test_compare_disjoint_suites_reports_no_overlap():
+    failures = bench_regression.compare_reports(
+        {"suite": "a", "timings": {"g1": {}}},
+        {"suite": "b", "timings": {"g2": {}}},
+        max_regression=2.0,
+    )
+    assert failures and "no graphs in common" in failures[0]

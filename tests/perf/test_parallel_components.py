@@ -1,0 +1,90 @@
+"""Tests for the parallel per-component driver.
+
+The contract is exact equivalence with the serial driver: α is additive
+over components, so shipping components to worker processes must change
+nothing but the algorithm label and the wall time.
+"""
+
+from repro.core.bdone import bdone
+from repro.core.components import solve_by_components
+from repro.core.linear_time import linear_time
+from repro.graphs import Graph
+from repro.graphs.generators import disjoint_union, gnm_random_graph, power_law_graph
+from repro.perf import solve_by_components_parallel
+
+
+def _assert_equivalent(parallel, serial):
+    assert parallel.independent_set == serial.independent_set
+    assert parallel.upper_bound == serial.upper_bound
+    assert parallel.peeled == serial.peeled
+    assert parallel.surviving_peels == serial.surviving_peels
+    assert parallel.is_exact == serial.is_exact
+    assert parallel.stats == serial.stats
+    assert parallel.algorithm.endswith("/components-parallel")
+
+
+def test_matches_serial_with_components_straddling_threshold():
+    # Two components above the threshold, two below: exercises both the
+    # pool path and the inline path in one call.
+    union = disjoint_union(
+        [
+            gnm_random_graph(300, 900, seed=0),
+            power_law_graph(250, beta=2.3, average_degree=5.0, seed=1),
+            gnm_random_graph(40, 80, seed=2),
+            power_law_graph(30, beta=2.5, average_degree=3.0, seed=3),
+        ]
+    )
+    for algorithm in (bdone, linear_time):
+        serial = solve_by_components(union, algorithm)
+        parallel = solve_by_components_parallel(
+            union, algorithm, processes=2, min_component_size=100
+        )
+        _assert_equivalent(parallel, serial)
+
+
+def test_single_component_graph():
+    g = gnm_random_graph(200, 600, seed=5)
+    serial = solve_by_components(g, linear_time)
+    parallel = solve_by_components_parallel(
+        g, linear_time, processes=2, min_component_size=50
+    )
+    _assert_equivalent(parallel, serial)
+
+
+def test_empty_graph():
+    g = Graph.empty(0)
+    result = solve_by_components_parallel(g, linear_time, processes=2)
+    assert result.independent_set == frozenset()
+    assert result.upper_bound == 0
+    assert result.is_exact
+
+
+def test_isolated_vertices_only():
+    g = Graph.empty(5)
+    serial = solve_by_components(g, bdone)
+    parallel = solve_by_components_parallel(
+        g, bdone, processes=2, min_component_size=1
+    )
+    _assert_equivalent(parallel, serial)
+
+
+def test_processes_one_avoids_pool():
+    union = disjoint_union(
+        [gnm_random_graph(150, 450, seed=6), gnm_random_graph(150, 450, seed=7)]
+    )
+    serial = solve_by_components(union, linear_time)
+    parallel = solve_by_components_parallel(
+        union, linear_time, processes=1, min_component_size=10
+    )
+    _assert_equivalent(parallel, serial)
+
+
+def test_threshold_above_all_components_solves_inline():
+    union = disjoint_union(
+        [gnm_random_graph(60, 120, seed=8), gnm_random_graph(70, 140, seed=9)]
+    )
+    serial = solve_by_components(union, linear_time)
+    parallel = solve_by_components_parallel(
+        union, linear_time, processes=4, min_component_size=10_000
+    )
+    _assert_equivalent(parallel, serial)

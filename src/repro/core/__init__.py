@@ -14,6 +14,8 @@ Public surface:
 from .bdone import bdone
 from .bdtwo import bdtwo
 from .components import solve_by_components
+from .dominance import TriangleWorkspace
+from .flat_dominance import FlatTriangleWorkspace
 from .framework import ALGORITHMS, compute_independent_set
 from .kernel import KERNEL_METHODS, KernelResult, kernelize
 from .linear_time import linear_time, linear_time_reduce
@@ -27,8 +29,10 @@ from .workspace import ArrayWorkspace, FlatWorkspace
 __all__ = [
     "ALGORITHMS",
     "ArrayWorkspace",
+    "FlatTriangleWorkspace",
     "FlatWorkspace",
     "KERNEL_METHODS",
+    "TriangleWorkspace",
     "KernelResult",
     "LPReductionResult",
     "MISResult",

@@ -151,9 +151,15 @@ def apply_degree_two_path_reduction(workspace, u: int) -> str:
             # configuration path reductions cannot handle (Appendix A.2).
             return RULE_IRREDUCIBLE
         # Case 3: keep v₁, drop v₂ … v_l, rewire (v₁, w) into existence.
-        # Stack push order v_l … v₂ makes pops run v₂ → v_l, so each popped
-        # vertex sees its path predecessor already decided.  Each pushed
-        # vertex records its two live neighbours (path chain + anchor).
+        # Rewiring happens first, while the retired entries are still
+        # present in their rows, so every backend replaces the entry *in
+        # position* (dict rebuild / slot overwrite) and the backends'
+        # adjacency iteration orders stay aligned.  Stack push order
+        # v_l … v₂ makes pops run v₂ → v_l, so each popped vertex sees its
+        # path predecessor already decided.  Each pushed vertex records its
+        # two live neighbours (path chain + anchor).
+        workspace.rewire(head, path[1], w)
+        workspace.rewire(w, tail, head)
         chain = [v] + path + [w]
         remove_silently = workspace.remove_silently
         push_path = workspace.log.push_path
@@ -161,8 +167,6 @@ def apply_degree_two_path_reduction(workspace, u: int) -> str:
             x = path[i]
             remove_silently(x)
             push_path(x, chain[i], chain[i + 2])
-        workspace.rewire(head, path[1], w)
-        workspace.rewire(w, tail, head)
         workspace.refile(head)  # still degree two: future paths start here
         return RULE_ODD_NO_EDGE
     chain = [v] + path + [w]
@@ -179,12 +183,13 @@ def apply_degree_two_path_reduction(workspace, u: int) -> str:
         return RULE_EVEN_EDGE
     # Case 5: remove the whole path and rewire (v, w) into existence;
     # anchor degrees are unchanged (each trades a path endpoint for the
-    # opposite anchor).
+    # opposite anchor).  Rewire first — see case 3 — so the replacement
+    # lands in the retired entry's position on every backend.
+    workspace.rewire(v, head, w)
+    workspace.rewire(w, tail, v)
     for i in range(length - 1, -1, -1):
         x = path[i]
         remove_silently(x)
         push_path(x, chain[i], chain[i + 2])
-    workspace.rewire(v, head, w)
-    workspace.rewire(w, tail, v)
     workspace.settle_new_edge(v, w)
     return RULE_EVEN_NO_EDGE

@@ -337,9 +337,23 @@ class TriangleWorkspace:
     def rewire(self, v: int, old: int, new: int) -> None:
         """Replace edge ``(v, old)`` with ``(v, new)``; δ of the new edge
         is settled by :meth:`settle_new_edge` once both endpoints are
-        rewired."""
-        self.tri[v].pop(old, None)
-        self.tri[v][new] = 0
+        rewired.
+
+        The replacement happens *in place*: ``new`` takes ``old``'s
+        position in the row's iteration order rather than moving to the
+        end.  This keeps dict order aligned with the flat backend's
+        adjacency-slot order (which overwrites the retired slot), the
+        contract that makes the two backends' decision logs
+        byte-identical.
+        """
+        row = self.tri[v]
+        if old in row:
+            self.tri[v] = {
+                (new if key == old else key): (0 if key == old else count)
+                for key, count in row.items()
+            }
+        else:
+            row[new] = 0
 
     def settle_new_edge(self, a: int, b: int) -> None:
         """Compute δ(a, b) for a just-created edge and propagate dominance.

@@ -168,24 +168,134 @@ class LPReductionResult:
         return len(self.included) + len(self.remaining) / 2.0
 
 
+def _solve_csr(n: int, xadj, adj) -> Tuple[List[int], List[int]]:
+    """Hopcroft–Karp on the bipartite double cover, straight off CSR buffers.
+
+    Behaviourally identical to :class:`HopcroftKarp` fed the neighbour
+    lists in adjacency order — the BFS layering, the DFS descent order and
+    therefore the final matching are the same; only the constant factor
+    differs (no per-vertex adjacency lists, no per-root stack allocations,
+    no boxed-float distances).  Returns ``(match_left, match_right)``.
+    """
+    inf = n + 1  # strictly above any reachable BFS layer
+    match_left = [-1] * n
+    match_right = [-1] * n
+    dist = [0] * n
+    queue: deque = deque()
+    queue_append = queue.append
+    queue_popleft = queue.popleft
+    # Reused DFS stacks: nodes on the current alternating path, the row
+    # position each has scanned up to, and the right vertex it descended
+    # through (the partner-to-be if the path augments).
+    nodes: List[int] = []
+    ptrs: List[int] = []
+    chosen: List[int] = []
+    while True:
+        # --- BFS phase: layer left vertices by alternating distance.
+        for u in range(n):
+            if match_left[u] == -1:
+                dist[u] = 0
+                queue_append(u)
+            else:
+                dist[u] = inf
+        found = False
+        while queue:
+            u = queue_popleft()
+            layer = dist[u] + 1
+            for v in adj[xadj[u] : xadj[u + 1]]:
+                nxt = match_right[v]
+                if nxt == -1:
+                    found = True
+                elif dist[nxt] == inf:
+                    dist[nxt] = layer
+                    queue_append(nxt)
+        if not found:
+            return match_left, match_right
+        # --- DFS phase: one shortest augmenting path per free left vertex.
+        for root in range(n):
+            if match_left[root] != -1:
+                continue
+            nodes.append(root)
+            ptrs.append(xadj[root])
+            chosen.append(-1)
+            while nodes:
+                u = nodes[-1]
+                j = ptrs[-1]
+                hi = xadj[u + 1]
+                layer = dist[u] + 1
+                descended = False
+                while j < hi:
+                    v = adj[j]
+                    j += 1
+                    nxt = match_right[v]
+                    if nxt == -1:
+                        # Free right vertex: flip the whole alternating path.
+                        chosen[-1] = v
+                        for node, partner in zip(nodes, chosen):
+                            match_left[node] = partner
+                            match_right[partner] = node
+                        nodes.clear()
+                        ptrs.clear()
+                        chosen.clear()
+                        descended = True
+                        break
+                    if dist[nxt] == layer:
+                        ptrs[-1] = j
+                        chosen[-1] = v
+                        nodes.append(nxt)
+                        ptrs.append(xadj[nxt])
+                        chosen.append(-1)
+                        descended = True
+                        break
+                if not descended:
+                    dist[u] = inf
+                    nodes.pop()
+                    ptrs.pop()
+                    chosen.pop()
+
+
+def _minimum_vertex_cover_csr(
+    n: int, xadj, adj, match_left: List[int], match_right: List[int]
+) -> Tuple[List[bool], List[bool]]:
+    """König cover over CSR buffers (mirrors
+    :meth:`HopcroftKarp.minimum_vertex_cover`)."""
+    visited_left = [False] * n
+    visited_right = [False] * n
+    queue: deque = deque()
+    for u in range(n):
+        if match_left[u] == -1:
+            visited_left[u] = True
+            queue.append(u)
+    while queue:
+        u = queue.popleft()
+        partner = match_left[u]
+        for v in adj[xadj[u] : xadj[u + 1]]:
+            if not visited_right[v] and partner != v:
+                visited_right[v] = True
+                nxt = match_right[v]
+                if nxt != -1 and not visited_left[nxt]:
+                    visited_left[nxt] = True
+                    queue.append(nxt)
+    cover_left = [not flag for flag in visited_left]
+    return cover_left, visited_right
+
+
 def lp_reduction(graph: Graph) -> LPReductionResult:
     """Classify every vertex by its half-integral LP value."""
     n = graph.n
-    adjacency = [list(graph.neighbors(v)) for v in range(n)]
-    matcher = HopcroftKarp(n, n, adjacency)
-    matcher.solve()
-    cover_left, cover_right = matcher.minimum_vertex_cover()
+    xadj, adj = graph.csr_arrays()
+    match_left, match_right = _solve_csr(n, xadj, adj)
+    cover_left, cover_right = _minimum_vertex_cover_csr(
+        n, xadj, adj, match_left, match_right
+    )
     included: List[int] = []
     excluded: List[int] = []
     remaining: List[int] = []
     for v in range(n):
-        value = int(cover_left[v]) + int(cover_right[v])
-        if value == 0:
-            included.append(v)
-        elif value == 2:
-            excluded.append(v)
+        if cover_left[v]:
+            (excluded if cover_right[v] else remaining).append(v)
         else:
-            remaining.append(v)
+            (remaining if cover_right[v] else included).append(v)
     return LPReductionResult(tuple(included), tuple(excluded), tuple(remaining))
 
 

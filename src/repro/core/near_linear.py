@@ -25,14 +25,15 @@ from typing import List, Tuple
 from ..graphs.static_graph import Graph
 from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .dominance import TriangleWorkspace, one_pass_dominance
+from .flat_dominance import FlatTriangleWorkspace, flat_one_pass_dominance
 from .lp_reduction import lp_reduction
 from .result import MISResult
-from .trace import DecisionLog
+from .trace import EXCLUDE, INCLUDE, DecisionLog
 
 __all__ = ["near_linear", "near_linear_reduce"]
 
 
-def _main_loop(workspace: TriangleWorkspace, stop_before_peel: bool) -> bool:
+def _main_loop(workspace, stop_before_peel: bool) -> bool:
     """Run Algorithm 5's reduction loop.
 
     Worklist pops, deletions and counter bumps are bound to locals at loop
@@ -78,25 +79,33 @@ def _main_loop(workspace: TriangleWorkspace, stop_before_peel: bool) -> bool:
         bump("peel")
 
 
-def _preprocess(graph: Graph, log: DecisionLog, preprocess: bool) -> Tuple[Graph, List[int]]:
+def _preprocess(
+    graph: Graph, log: DecisionLog, preprocess: bool, flat: bool = True
+) -> Tuple[Graph, List[int]]:
     """Phases 1–2: one-pass dominance, then the LP reduction.
 
     Decisions land in ``log`` (original ids); returns the residual graph
-    and its id map.
+    and its id map.  ``flat`` picks the stamp-based sweep over the
+    set-based oracle — both produce the identical removed list (the
+    differential suite asserts it), so this only changes the constant.
     """
     if not preprocess:
         return graph, list(range(graph.n))
-    dominated = one_pass_dominance(graph)
-    for u in dominated:
-        log.exclude(u)
+    sweep = flat_one_pass_dominance if flat else one_pass_dominance
+    dominated = sweep(graph)
+    # Bulk-append the phase decisions (one entry per vertex; a method call
+    # per decision is measurable here — phases 1–2 settle most vertices).
+    entries = log.entries
+    entries.extend((EXCLUDE, (u,)) for u in dominated)
     log.bump("one-pass-dominance", len(dominated))
-    survivors = sorted(set(range(graph.n)) - set(dominated))
+    keep = bytearray([1]) * graph.n if graph.n else bytearray()
+    for u in dominated:
+        keep[u] = 0
+    survivors = [v for v in range(graph.n) if keep[v]]
     residual, ids = graph.subgraph(survivors)
     lp = lp_reduction(residual)
-    for v in lp.included:
-        log.include(ids[v])
-    for v in lp.excluded:
-        log.exclude(ids[v])
+    entries.extend((INCLUDE, (ids[v],)) for v in lp.included)
+    entries.extend((EXCLUDE, (ids[v],)) for v in lp.excluded)
     log.bump("lp-included", len(lp.included))
     log.bump("lp-excluded", len(lp.excluded))
     half, half_ids = residual.subgraph(lp.remaining)
@@ -113,14 +122,18 @@ def near_linear(
     ``preprocess=False`` skips the one-pass dominance and LP phases (used
     by ablation benchmarks; the paper's algorithm runs both).
     ``workspace_factory`` overrides the main-loop workspace constructor
-    (default :class:`~repro.core.dominance.TriangleWorkspace`; the
-    replacement must implement the dominance protocol — the hook exists so
-    differential tests can pin the oracle explicitly).
+    (default :class:`~repro.core.flat_dominance.FlatTriangleWorkspace`;
+    the replacement must implement the dominance protocol — pass
+    :class:`~repro.core.dominance.TriangleWorkspace` to pin the
+    list-of-dicts oracle, as the differential tests do).  Both backends
+    produce byte-identical decision logs.
     """
     start = time.perf_counter()
     log = DecisionLog()
-    residual, ids = _preprocess(graph, log, preprocess)
-    factory = TriangleWorkspace if workspace_factory is None else workspace_factory
+    factory = FlatTriangleWorkspace if workspace_factory is None else workspace_factory
+    residual, ids = _preprocess(
+        graph, log, preprocess, flat=factory is not TriangleWorkspace
+    )
     workspace = factory(residual)
     _main_loop(workspace, stop_before_peel=False)
     log.extend_mapped(workspace.log, ids)
@@ -149,8 +162,10 @@ def near_linear_reduce(
     "kernel graph size by NearLinear" column of Table 3.
     """
     log = DecisionLog()
-    residual, ids = _preprocess(graph, log, preprocess)
-    factory = TriangleWorkspace if workspace_factory is None else workspace_factory
+    factory = FlatTriangleWorkspace if workspace_factory is None else workspace_factory
+    residual, ids = _preprocess(
+        graph, log, preprocess, flat=factory is not TriangleWorkspace
+    )
     workspace = factory(residual)
     _main_loop(workspace, stop_before_peel=True)
     log.extend_mapped(workspace.log, ids)

@@ -3,10 +3,12 @@
 from .arw import LocalSearchState, arw
 from .boosted import BoostedResult, arw_lt, arw_nl, boosted_arw
 from .events import ConvergenceRecorder
+from .flat_state import FlatLocalSearchState
 
 __all__ = [
     "BoostedResult",
     "ConvergenceRecorder",
+    "FlatLocalSearchState",
     "LocalSearchState",
     "arw",
     "arw_lt",

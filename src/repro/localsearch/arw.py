@@ -26,6 +26,7 @@ from typing import Iterable, List, Optional, Set, Tuple
 from ..errors import NotASolutionError
 from ..graphs.static_graph import Graph
 from .events import ConvergenceRecorder
+from .flat_state import FlatLocalSearchState
 
 __all__ = ["LocalSearchState", "arw"]
 
@@ -158,6 +159,8 @@ def arw(
     seed: int = 0,
     recorder: Optional[ConvergenceRecorder] = None,
     max_iterations: Optional[int] = None,
+    state_factory=None,
+    rng: Optional[random.Random] = None,
 ) -> Tuple[Set[int], ConvergenceRecorder]:
     """Iterated local search from ``initial`` under a wall-clock budget.
 
@@ -165,9 +168,19 @@ def arw(
     ``(t, |I|)`` improvement events.  Deterministic given ``seed`` up to
     wall-clock dependent iteration counts (pass ``max_iterations`` for
     fully reproducible runs).
+
+    ``state_factory`` overrides the search-state constructor (default
+    :class:`~repro.localsearch.flat_state.FlatLocalSearchState`; pass
+    :class:`LocalSearchState` to pin the legacy oracle — both produce the
+    identical move sequence under the same RNG stream, which the
+    differential suite asserts).  ``rng`` injects a pre-seeded
+    ``random.Random`` and takes precedence over ``seed``.
     """
-    rng = random.Random(seed)
-    state = LocalSearchState(graph, initial)
+    if rng is None:
+        rng = random.Random(seed)
+    if state_factory is None:
+        state_factory = FlatLocalSearchState
+    state = state_factory(graph, initial)
     if recorder is None:
         recorder = ConvergenceRecorder()
     state.local_search()
@@ -192,5 +205,5 @@ def arw(
             recorder.record(len(best))
         elif state.size < len(best) - 2:
             # Drifted too far down: restart from the best solution found.
-            state = LocalSearchState(graph, best)
+            state = state_factory(graph, best)
     return best, recorder

@@ -12,14 +12,16 @@ kernel edge dropped) and re-extended before the search starts.
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, Optional, Set, Tuple
 
 from ..core.kernel import KernelResult, kernelize
 from ..core.linear_time import linear_time
 from ..core.near_linear import near_linear
 from ..graphs.static_graph import Graph
-from .arw import LocalSearchState, arw
+from .arw import arw
 from .events import ConvergenceRecorder
+from .flat_state import FlatLocalSearchState
 
 __all__ = ["BoostedResult", "arw_lt", "arw_nl", "boosted_arw"]
 
@@ -45,19 +47,23 @@ class BoostedResult:
         return len(self.independent_set)
 
 
-def _induce_on_kernel(kernel: Graph, old_ids, full_solution: Iterable[int]) -> Set[int]:
+def _induce_on_kernel(
+    kernel: Graph, old_ids, full_solution: Iterable[int], state_factory=None
+) -> Set[int]:
     """Project a full-graph solution onto the kernel and make it valid.
 
     Intersects, drops one endpoint of every kernel edge the projection
     violates (rewired edges may not exist in the original graph), then
     extends to a maximal set of the kernel.
     """
+    if state_factory is None:
+        state_factory = FlatLocalSearchState
     selected = set(full_solution)
     seed = {new for new, old in enumerate(old_ids) if old in selected}
     for v in sorted(seed):
         if v in seed and any(w in seed for w in kernel.neighbors(v)):
             seed.discard(v)
-    state = LocalSearchState(kernel, seed)
+    state = state_factory(kernel, seed)
     for v in range(kernel.n):
         if not state.in_solution[v] and state.tightness[v] == 0:
             state.insert(v)
@@ -70,12 +76,16 @@ def boosted_arw(
     time_budget: float = 1.0,
     seed: int = 0,
     max_iterations: Optional[int] = None,
+    state_factory=None,
+    rng: Optional[random.Random] = None,
 ) -> BoostedResult:
     """Run kernelize → seed → ARW → lift for the given kernel method.
 
     ``method`` is ``"linear_time"`` (ARW-LT) or ``"near_linear"``
     (ARW-NL).  The recorder's events are *lifted* sizes, so they compare
-    directly with unboosted ARW on the input graph.
+    directly with unboosted ARW on the input graph.  ``state_factory`` /
+    ``rng`` are forwarded to :func:`~repro.localsearch.arw.arw` (flat
+    search state and ``random.Random(seed)`` by default).
     """
     recorder = ConvergenceRecorder()
     kernel_result = kernelize(graph, method=method)
@@ -84,7 +94,10 @@ def boosted_arw(
         recorder.record(full.size)
         return BoostedResult(full.independent_set, recorder, kernel_result)
     seed_solution = _induce_on_kernel(
-        kernel_result.kernel, kernel_result.old_ids, full.independent_set
+        kernel_result.kernel,
+        kernel_result.old_ids,
+        full.independent_set,
+        state_factory=state_factory,
     )
 
     lifted_best = kernel_result.lift(seed_solution)
@@ -100,6 +113,8 @@ def boosted_arw(
         seed=seed,
         recorder=kernel_recorder,
         max_iterations=max_iterations,
+        state_factory=state_factory,
+        rng=rng,
     )
     lifted = kernel_result.lift(kernel_best)
     if len(lifted) > len(best):
@@ -115,14 +130,28 @@ def boosted_arw(
 
 
 def arw_lt(
-    graph: Graph, time_budget: float = 1.0, seed: int = 0, max_iterations: Optional[int] = None
+    graph: Graph,
+    time_budget: float = 1.0,
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    state_factory=None,
+    rng: Optional[random.Random] = None,
 ) -> BoostedResult:
     """ARW boosted by LinearTime kernelization (paper's ARW-LT)."""
-    return boosted_arw(graph, "linear_time", time_budget, seed, max_iterations)
+    return boosted_arw(
+        graph, "linear_time", time_budget, seed, max_iterations, state_factory, rng
+    )
 
 
 def arw_nl(
-    graph: Graph, time_budget: float = 1.0, seed: int = 0, max_iterations: Optional[int] = None
+    graph: Graph,
+    time_budget: float = 1.0,
+    seed: int = 0,
+    max_iterations: Optional[int] = None,
+    state_factory=None,
+    rng: Optional[random.Random] = None,
 ) -> BoostedResult:
     """ARW boosted by NearLinear kernelization (paper's ARW-NL)."""
-    return boosted_arw(graph, "near_linear", time_budget, seed, max_iterations)
+    return boosted_arw(
+        graph, "near_linear", time_budget, seed, max_iterations, state_factory, rng
+    )

@@ -1,0 +1,223 @@
+"""Flat-buffer local-search state — ARW's production backend.
+
+:class:`FlatLocalSearchState` is the flat twin of
+:class:`~repro.localsearch.arw.LocalSearchState`: identical public surface
+and *identical move sequences* (the differential suite asserts equal
+solution-size trajectories under a fixed RNG seed), with the bookkeeping
+restructured for throughput:
+
+* adjacency is read straight off the graph's CSR buffers — no
+  ``neighbors()`` method call or tuple materialisation per move;
+* the (1,2)-swap scan keeps an **incremental 1-tight-neighbour index**:
+  ``_one_tight_count[x]`` is the number of 1-tight outside neighbours of
+  solution vertex ``x``, maintained O(1) per tightness transition via the
+  ``_one_holder`` witness array (``_one_holder[w]`` is the unique solution
+  neighbour of a 1-tight vertex ``w``).  Solution vertices with fewer than
+  two 1-tight neighbours — the overwhelming majority at a local optimum —
+  are skipped without touching their adjacency;
+* candidate non-adjacency tests use a shared **timestamped mark array**
+  instead of building ``set(neighbors(u))`` per candidate, so the scan
+  allocates nothing.
+
+The only non-O(1) index maintenance is the 2→1 tightness transition on
+:meth:`remove`, which rescans the affected neighbourhood to rediscover the
+surviving solution neighbour — removals are rare next to swap scans, which
+is exactly the trade the index wants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..errors import NotASolutionError
+from ..graphs.static_graph import Graph
+
+__all__ = ["FlatLocalSearchState"]
+
+
+class FlatLocalSearchState:
+    """Solution + tightness bookkeeping over flat CSR buffers."""
+
+    __slots__ = (
+        "graph",
+        "in_solution",
+        "tightness",
+        "size",
+        "_last_outside",
+        "xadj",
+        "adj",
+        "_one_tight_count",
+        "_one_holder",
+        "_stamp",
+        "_clock",
+    )
+
+    def __init__(self, graph: Graph, initial: Iterable[int]) -> None:
+        self.graph = graph
+        n = graph.n
+        xadj, adj = graph.csr_arrays()
+        self.xadj = xadj
+        self.adj = adj
+        self.in_solution = bytearray(n)
+        self.tightness = [0] * n
+        self.size = 0
+        # Perturbation priority: iteration at which a vertex last left the
+        # solution (0 = never been inside).
+        self._last_outside = [0] * n
+        self._one_tight_count = [0] * n
+        self._one_holder = [0] * n
+        self._stamp = [0] * n
+        self._clock = 0
+        for v in initial:
+            self.insert(v)
+
+    # ------------------------------------------------------------------
+    # Elementary moves
+    # ------------------------------------------------------------------
+    def insert(self, v: int) -> None:
+        """Add ``v`` to the solution (caller guarantees independence)."""
+        if self.in_solution[v]:
+            return
+        if self.tightness[v]:
+            raise NotASolutionError(f"vertex {v} has a solution neighbour")
+        tight = self.tightness
+        holder = self._one_holder
+        one_tight = self._one_tight_count
+        self.in_solution[v] = 1
+        self.size += 1
+        xadj = self.xadj
+        count = 0
+        for w in self.adj[xadj[v] : xadj[v + 1]]:
+            t = tight[w] + 1
+            tight[w] = t
+            if t == 1:
+                # w's unique solution neighbour is now v.
+                holder[w] = v
+                count += 1
+            elif t == 2:
+                # w stops being 1-tight for its previous holder.
+                one_tight[holder[w]] -= 1
+        one_tight[v] = count
+
+    def remove(self, v: int, clock: int = 0) -> None:
+        """Remove ``v`` from the solution."""
+        in_solution = self.in_solution
+        if not in_solution[v]:
+            return
+        tight = self.tightness
+        holder = self._one_holder
+        one_tight = self._one_tight_count
+        adj = self.adj
+        xadj = self.xadj
+        in_solution[v] = 0
+        self.size -= 1
+        self._last_outside[v] = clock
+        for w in adj[xadj[v] : xadj[v + 1]]:
+            t = tight[w] - 1
+            tight[w] = t
+            if t == 1:
+                # w just became 1-tight: rediscover its surviving solution
+                # neighbour (the one transition that costs a row scan).
+                for x in adj[xadj[w] : xadj[w + 1]]:
+                    if in_solution[x]:
+                        holder[w] = x
+                        one_tight[x] += 1
+                        break
+            # t == 0: w was 1-tight held by v itself; v's index dies with it.
+
+    def force_insert(self, v: int, clock: int = 0) -> None:
+        """Insert ``v``, evicting its solution neighbours (perturbation)."""
+        if self.in_solution[v]:
+            return
+        in_solution = self.in_solution
+        xadj = self.xadj
+        for w in self.adj[xadj[v] : xadj[v + 1]]:
+            if in_solution[w]:
+                self.remove(w, clock)
+        self.insert(v)
+
+    def solution(self) -> Set[int]:
+        """The current solution as a set."""
+        return {v for v in range(self.graph.n) if self.in_solution[v]}
+
+    # ------------------------------------------------------------------
+    # Moves of the ARW neighbourhood
+    # ------------------------------------------------------------------
+    def one_tight_neighbors(self, x: int) -> List[int]:
+        """Non-solution neighbours of solution vertex ``x`` blocked only
+        by ``x`` itself."""
+        in_solution = self.in_solution
+        tight = self.tightness
+        xadj = self.xadj
+        return [
+            w
+            for w in self.adj[xadj[x] : xadj[x + 1]]
+            if not in_solution[w] and tight[w] == 1
+        ]
+
+    def find_one_two_swap(self, x: int) -> Optional[Tuple[int, int]]:
+        """A pair of non-adjacent 1-tight neighbours of ``x``, if any.
+
+        Same pair as the oracle's scan (first ``u`` in adjacency order that
+        admits a partner, first such partner), reached faster: the
+        1-tight index rejects hopeless ``x`` in O(1) and the stamp array
+        replaces the per-candidate neighbour sets.
+        """
+        if self._one_tight_count[x] < 2:
+            return None
+        candidates = self.one_tight_neighbors(x)
+        adj = self.adj
+        xadj = self.xadj
+        stamp = self._stamp
+        clock = self._clock
+        for i in range(len(candidates) - 1):
+            u = candidates[i]
+            clock += 1
+            for y in adj[xadj[u] : xadj[u + 1]]:
+                stamp[y] = clock
+            for w in candidates[i + 1 :]:
+                if stamp[w] != clock:
+                    self._clock = clock
+                    return u, w
+        self._clock = clock
+        return None
+
+    def apply_one_two_swap(self, x: int, u: int, w: int) -> None:
+        """Execute the swap: drop ``x``, insert ``u`` and ``w``."""
+        self.remove(x)
+        self.insert(u)
+        self.insert(w)
+
+    def local_search(self) -> int:
+        """Exhaust (1,2)-swaps plus free insertions; returns improvement.
+
+        Same pass structure (and therefore the same move sequence) as the
+        oracle; the 1-tight index makes the swap scan skip almost every
+        solution vertex without touching its row.
+        """
+        gained = 0
+        improved = True
+        n = self.graph.n
+        in_solution = self.in_solution
+        tight = self.tightness
+        one_tight = self._one_tight_count
+        insert = self.insert
+        find_one_two_swap = self.find_one_two_swap
+        while improved:
+            improved = False
+            for v in range(n):
+                if not in_solution[v] and not tight[v]:
+                    insert(v)
+                    gained += 1
+                    improved = True
+            for x in range(n):
+                if not in_solution[x] or one_tight[x] < 2:
+                    continue
+                swap = find_one_two_swap(x)
+                if swap is not None:
+                    self.remove(x)
+                    insert(swap[0])
+                    insert(swap[1])
+                    gained += 1
+                    improved = True
+        return gained

@@ -6,16 +6,28 @@ Two pieces live here:
   :func:`repro.core.components.solve_by_components`.  Components above a
   size threshold are shipped to worker processes as flat CSR byte buffers
   (no per-vertex Python objects cross the process boundary) and solved
-  concurrently; small components are solved inline.  The merged result is
+  concurrently; small components are solved inline.  Algorithms can be
+  passed by :data:`~repro.perf.parallel.ALGORITHM_BY_NAME` registry name
+  (``"bdone"``, ``"linear_time"``, ``"near_linear"``), in which case only
+  the name crosses the process boundary.  The merged result is
   field-for-field identical to the serial driver's, modulo the algorithm
   label and wall time.
 * :mod:`repro.perf.bench_regression` — the perf-regression harness.  It
-  times the flat-buffer backend against the list-of-lists oracle on seeded
-  generator graphs, records kernel sizes and live-counter costs, writes a
-  JSON report, and can compare a fresh run against a committed baseline
-  (used by the CI ``perf-smoke`` job).
+  times each flat-buffer backend against its oracle twin (LinearTime,
+  NearLinear and ARW-LT tracks) on seeded generator graphs, records kernel
+  sizes and live-counter costs, writes a JSON report, and can compare a
+  fresh run against a committed baseline (used by the CI ``perf-smoke``
+  job).
 """
 
-from .parallel import DEFAULT_PARALLEL_THRESHOLD, solve_by_components_parallel
+from .parallel import (
+    ALGORITHM_BY_NAME,
+    DEFAULT_PARALLEL_THRESHOLD,
+    solve_by_components_parallel,
+)
 
-__all__ = ["DEFAULT_PARALLEL_THRESHOLD", "solve_by_components_parallel"]
+__all__ = [
+    "ALGORITHM_BY_NAME",
+    "DEFAULT_PARALLEL_THRESHOLD",
+    "solve_by_components_parallel",
+]

@@ -1,25 +1,31 @@
-"""Perf-regression harness: flat backend vs. oracle, tracked over time.
+"""Perf-regression harness: flat backends vs. their oracles, tracked over time.
 
 Runs the reducing-peeling algorithms on seeded generator graphs (so every
-run sees byte-identical inputs), timing the flat-buffer backend
-(:class:`~repro.core.workspace.FlatWorkspace`) against the list-of-lists
-oracle (:class:`~repro.core.workspace.ArrayWorkspace`), and writes a JSON
-report.  The report also records kernel sizes (so a rule regression shows
-up as a kernel-size diff, not just a timing blip) and the per-call cost of
-the maintained live counters next to an O(n)-scan reference.
+run sees byte-identical inputs), timing each flat-buffer backend against
+its oracle twin — :class:`~repro.core.workspace.FlatWorkspace` vs the
+list-of-lists :class:`~repro.core.workspace.ArrayWorkspace` for BDOne /
+LinearTime, :class:`~repro.core.flat_dominance.FlatTriangleWorkspace` vs
+the list-of-dicts :class:`~repro.core.dominance.TriangleWorkspace` for
+NearLinear, and :class:`~repro.localsearch.flat_state.FlatLocalSearchState`
+vs the legacy :class:`~repro.localsearch.arw.LocalSearchState` for ARW-LT —
+and writes a JSON report.  The report also records kernel sizes (so a rule
+regression shows up as a kernel-size diff, not just a timing blip) and the
+per-call cost of the maintained live counters next to an O(n)-scan
+reference.
 
 Usage::
 
     python -m repro.perf.bench_regression                  # full suite
     python -m repro.perf.bench_regression --quick          # CI-sized suite
     python -m repro.perf.bench_regression --quick \
-        --out bench_quick.json --compare BENCH_PR1.json    # regression gate
+        --out bench_quick.json --compare BENCH_PR2.json    # regression gate
 
 ``--compare`` checks the fresh run against a committed baseline and exits
-nonzero when LinearTime's flat-backend wall time regressed by more than
-``--max-regression`` (a ratio; 2.0 means "twice as slow") on any graph
-present in both reports.  Only graphs in the intersection are compared, so
-a ``--quick`` run gates cleanly against a full-suite baseline.
+nonzero when any gated track's flat wall time (see :data:`GATED_TRACKS`)
+regressed by more than ``--max-regression`` (a ratio; 2.0 means "twice as
+slow") on any graph present in both reports.  Only graphs in the
+intersection are compared, so a ``--quick`` run gates cleanly against a
+full-suite baseline.
 """
 
 from __future__ import annotations
@@ -27,23 +33,39 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import random
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.bdone import bdone
+from ..core.dominance import TriangleWorkspace
 from ..core.linear_time import linear_time, linear_time_reduce
 from ..core.near_linear import near_linear, near_linear_reduce
 from ..core.workspace import ArrayWorkspace, FlatWorkspace
 from ..graphs.generators import gnm_random_graph, power_law_graph, web_like_graph
 from ..graphs.static_graph import Graph
+from ..localsearch.arw import LocalSearchState
+from ..localsearch.boosted import arw_lt
+from ..localsearch.flat_state import FlatLocalSearchState
 
 __all__ = ["build_suite", "run_suite", "compare_reports", "main"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
-# The algorithm the CI gate watches: the paper's headline contribution.
-GATED_ALGORITHM = "LinearTime"
+#: The tracks the CI gate watches: record key in ``timings[graph]`` plus
+#: the wall-time field inside it.  LinearTime is the paper's headline
+#: contribution; NearLinear and ARW-LT gate the flat dominance workspace
+#: and the flat local-search state respectively.
+GATED_TRACKS: Dict[str, Tuple[str, str]] = {
+    "linear_time": ("LinearTime", "flat_wall"),
+    "near_linear": ("NearLinear", "flat_wall"),
+    "arw_lt": ("ARW-LT", "flat_wall"),
+}
+
+#: Fixed iteration budget for the ARW-LT end-to-end track — wall-clock
+#: budgets would make the measured work machine-dependent.
+_ARW_ITERATIONS = 40
 
 # name -> (factory, run NearLinear + kernels on it?)
 _SUITES: Dict[str, List[Tuple[str, Callable[[], Graph], bool]]] = {
@@ -58,8 +80,9 @@ _SUITES: Dict[str, List[Tuple[str, Callable[[], Graph], bool]]] = {
     ],
 }
 _SUITES["full"] = _SUITES["quick"] + [
-    # The big one: NearLinear and the kernel exports are skipped here to
-    # keep the full suite under a minute; the backend comparison is not.
+    # The big one: the ARW track and the kernel exports are skipped here to
+    # keep the full suite under a minute; the backend comparisons (including
+    # NearLinear flat-vs-TriangleWorkspace, the PR 2 headline) are not.
     ("plr-50k", lambda: power_law_graph(50_000, beta=2.2, average_degree=6.0, seed=7), False),
 ]
 
@@ -81,22 +104,103 @@ def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[object, float]:
 
 
 def _time_backends(
-    algorithm: Callable[..., object], graph: Graph, repeats: int
+    algorithm: Callable[..., object],
+    graph: Graph,
+    repeats: int,
+    oracle_factory: type = ArrayWorkspace,
 ) -> Dict[str, float]:
-    """Time ``algorithm`` end-to-end under both workspace backends."""
+    """Time ``algorithm`` end-to-end under its flat and oracle backends.
+
+    ``oracle_factory`` is the reference workspace passed through the
+    algorithm's ``workspace_factory`` hook (the default backend is always
+    the flat one); the two runs must agree on the solution.
+    """
     flat_result, flat_wall = _best_of(lambda: algorithm(graph), repeats)
-    array_result, array_wall = _best_of(
-        lambda: algorithm(graph, workspace_factory=ArrayWorkspace), repeats
+    oracle_result, oracle_wall = _best_of(
+        lambda: algorithm(graph, workspace_factory=oracle_factory), repeats
     )
-    assert flat_result.independent_set == array_result.independent_set
+    assert flat_result.independent_set == oracle_result.independent_set
     return {
         "flat_wall": flat_wall,
-        "array_wall": array_wall,
+        "oracle_wall": oracle_wall,
         "flat_solver": flat_result.elapsed,
-        "array_solver": array_result.elapsed,
-        "speedup": array_wall / flat_wall if flat_wall > 0 else float("inf"),
+        "oracle_solver": oracle_result.elapsed,
+        "speedup": oracle_wall / flat_wall if flat_wall > 0 else float("inf"),
         "size": len(flat_result.independent_set),
         "upper_bound": flat_result.upper_bound,
+    }
+
+
+def _greedy_maximal(graph: Graph) -> List[int]:
+    """Deterministic greedy maximal independent set (id order) — the
+    common seed for the swap-scan throughput measurements."""
+    taken = bytearray(graph.n)
+    solution: List[int] = []
+    for v in range(graph.n):
+        if not taken[v]:
+            solution.append(v)
+            taken[v] = 1
+            for w in graph.neighbors(v):
+                taken[w] = 1
+    return solution
+
+
+def _time_arw_lt(graph: Graph, repeats: int) -> Optional[Dict[str, float]]:
+    """The ARW-LT track: swap-scan throughput plus fixed-iteration e2e.
+
+    Measures (a) one :meth:`local_search` exhaust on the LinearTime kernel
+    from a deterministic greedy seed, for both search states, and (b) the
+    full ``arw_lt`` pipeline under a fixed iteration budget and RNG seed.
+    Returns ``None`` when the kernel is empty (nothing to search — the
+    exact rules solved the graph).
+    """
+    kernel, _, _ = linear_time_reduce(graph)
+    if kernel.n == 0:
+        return None
+    seed_solution = _greedy_maximal(kernel)
+
+    def scan(factory: type) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            state = factory(kernel, seed_solution)
+            start = time.perf_counter()
+            state.local_search()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    flat_scan = scan(FlatLocalSearchState)
+    oracle_scan = scan(LocalSearchState)
+
+    flat_result, flat_wall = _best_of(
+        lambda: arw_lt(
+            graph,
+            time_budget=3600.0,
+            max_iterations=_ARW_ITERATIONS,
+            rng=random.Random(0),
+        ),
+        repeats,
+    )
+    oracle_result, oracle_wall = _best_of(
+        lambda: arw_lt(
+            graph,
+            time_budget=3600.0,
+            max_iterations=_ARW_ITERATIONS,
+            state_factory=LocalSearchState,
+            rng=random.Random(0),
+        ),
+        repeats,
+    )
+    assert flat_result.independent_set == oracle_result.independent_set
+    return {
+        "flat_scan": flat_scan,
+        "oracle_scan": oracle_scan,
+        "scan_speedup": oracle_scan / flat_scan if flat_scan > 0 else float("inf"),
+        "flat_wall": flat_wall,
+        "oracle_wall": oracle_wall,
+        "speedup": oracle_wall / flat_wall if flat_wall > 0 else float("inf"),
+        "size": flat_result.size,
+        "kernel_n": kernel.n,
+        "iterations": _ARW_ITERATIONS,
     }
 
 
@@ -140,15 +244,14 @@ def run_suite(suite: str, repeats: int) -> Dict[str, object]:
         timings: Dict[str, object] = {
             "BDOne": _time_backends(bdone, graph, repeats),
             "LinearTime": _time_backends(linear_time, graph, repeats),
+            "NearLinear": _time_backends(
+                near_linear, graph, repeats, oracle_factory=TriangleWorkspace
+            ),
         }
         if deep:
-            nl_result, nl_wall = _best_of(lambda: near_linear(graph), repeats)
-            timings["NearLinear"] = {
-                "wall": nl_wall,
-                "solver": nl_result.elapsed,
-                "size": len(nl_result.independent_set),
-                "upper_bound": nl_result.upper_bound,
-            }
+            arw_track = _time_arw_lt(graph, repeats)
+            if arw_track is not None:
+                timings["ARW-LT"] = arw_track
         report["timings"][gname] = timings
         kernel, _, _ = linear_time_reduce(graph)
         kernels = {"linear_time": {"n": kernel.n, "m": kernel.m}}
@@ -168,8 +271,9 @@ def compare_reports(
 ) -> List[str]:
     """Return regression messages (empty when the gate passes).
 
-    Compares the gated algorithm's flat-backend wall time per graph, over
-    the intersection of graphs in both reports.
+    Compares every :data:`GATED_TRACKS` flat wall time per graph, over the
+    intersection of graphs in both reports; a track missing from either
+    side of a graph (e.g. ARW-LT on a solved-by-rules graph) is skipped.
     """
     failures: List[str] = []
     base_timings = baseline.get("timings", {})
@@ -181,21 +285,22 @@ def compare_reports(
             "cannot gate (baseline suite: %s, current suite: %s)"
             % (baseline.get("suite"), current.get("suite"))
         ]
-    for gname in shared:
-        base = base_timings[gname].get(GATED_ALGORITHM)
-        cur = cur_timings[gname].get(GATED_ALGORITHM)
-        if not base or not cur:
-            continue
-        base_wall = base["flat_wall"]
-        cur_wall = cur["flat_wall"]
-        if base_wall <= 0:
-            continue
-        ratio = cur_wall / base_wall
-        if ratio > max_regression:
-            failures.append(
-                f"{GATED_ALGORITHM} on {gname}: {cur_wall:.4f}s vs baseline "
-                f"{base_wall:.4f}s ({ratio:.2f}x > {max_regression:.2f}x allowed)"
-            )
+    for track, (record, field) in sorted(GATED_TRACKS.items()):
+        for gname in shared:
+            base = base_timings[gname].get(record)
+            cur = cur_timings[gname].get(record)
+            if not base or not cur or field not in base or field not in cur:
+                continue
+            base_wall = base[field]
+            cur_wall = cur[field]
+            if base_wall <= 0:
+                continue
+            ratio = cur_wall / base_wall
+            if ratio > max_regression:
+                failures.append(
+                    f"{track} on {gname}: {cur_wall:.4f}s vs baseline "
+                    f"{base_wall:.4f}s ({ratio:.2f}x > {max_regression:.2f}x allowed)"
+                )
     return failures
 
 
@@ -234,10 +339,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     for gname, timings in report["timings"].items():
         line = [gname]
         for alg, rec in timings.items():
-            if "speedup" in rec:
-                line.append(f"{alg} flat {rec['flat_wall']:.4f}s ({rec['speedup']:.2f}x)")
-            else:
-                line.append(f"{alg} {rec['wall']:.4f}s")
+            part = f"{alg} flat {rec['flat_wall']:.4f}s ({rec['speedup']:.2f}x)"
+            if "scan_speedup" in rec:
+                part += f" scan {rec['scan_speedup']:.2f}x"
+            line.append(part)
         print("  ".join(line))
     print(f"report written to {args.out}")
 

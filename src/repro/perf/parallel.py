@@ -26,37 +26,71 @@ import multiprocessing
 import os
 import time
 from array import array
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
+from ..core.bdone import bdone
+from ..core.linear_time import linear_time
+from ..core.near_linear import near_linear
 from ..core.result import MISResult
 from ..graphs.properties import connected_components
 from ..graphs.static_graph import Graph
 
-__all__ = ["DEFAULT_PARALLEL_THRESHOLD", "solve_by_components_parallel"]
+__all__ = [
+    "ALGORITHM_BY_NAME",
+    "DEFAULT_PARALLEL_THRESHOLD",
+    "solve_by_components_parallel",
+]
 
 # Components smaller than this are solved inline: process dispatch plus
 # result pickling costs more than a small solve saves.
 DEFAULT_PARALLEL_THRESHOLD = 2_000
 
+#: Algorithms dispatchable by name over the raw CSR byte-buffer protocol.
+#: Names ship to the workers instead of pickled callables, so the payload
+#: stays three byte strings plus two short strings per component.
+ALGORITHM_BY_NAME: dict = {
+    "bdone": bdone,
+    "linear_time": linear_time,
+    "near_linear": near_linear,
+}
 
-def _solve_flat(payload: Tuple[bytes, bytes, str, Callable[[Graph], MISResult]]) -> MISResult:
+
+def _resolve_algorithm(
+    algorithm: Union[str, Callable[[Graph], MISResult]],
+) -> Callable[[Graph], MISResult]:
+    """Accept a registry name or a module-level callable."""
+    if isinstance(algorithm, str):
+        try:
+            return ALGORITHM_BY_NAME[algorithm]
+        except KeyError:
+            raise ValueError(
+                f"unknown algorithm name {algorithm!r}; "
+                f"registered: {sorted(ALGORITHM_BY_NAME)}"
+            ) from None
+    return algorithm
+
+
+def _solve_flat(
+    payload: Tuple[bytes, bytes, str, Union[str, Callable[[Graph], MISResult]]],
+) -> MISResult:
     """Worker: rebuild a component graph from flat buffers and solve it.
 
     Module-level so the default (pickle-based) pool start methods can find
-    it by reference.  The algorithm callable itself must likewise be
-    module-level (every public algorithm in :mod:`repro.core` is).
+    it by reference.  The algorithm arrives either as a registry name
+    (resolved here, in the worker) or as a module-level callable (every
+    public algorithm in :mod:`repro.core` is picklable by reference).
     """
     offsets_bytes, targets_bytes, name, algorithm = payload
     offsets = array("q")
     offsets.frombytes(offsets_bytes)
     targets = array("i")
     targets.frombytes(targets_bytes)
-    return algorithm(Graph(offsets, targets, name=name))
+    return _resolve_algorithm(algorithm)(Graph(offsets, targets, name=name))
 
 
 def solve_by_components_parallel(
     graph: Graph,
-    algorithm: Callable[[Graph], MISResult],
+    algorithm: Union[str, Callable[[Graph], MISResult]],
     processes: Optional[int] = None,
     min_component_size: int = DEFAULT_PARALLEL_THRESHOLD,
     start_method: Optional[str] = None,
@@ -68,8 +102,11 @@ def solve_by_components_parallel(
     graph:
         The (possibly disconnected) input graph.
     algorithm:
-        A module-level callable ``Graph -> MISResult`` (e.g.
-        :func:`repro.core.linear_time.linear_time`); it must be picklable.
+        Either a :data:`ALGORITHM_BY_NAME` registry name (``"bdone"``,
+        ``"linear_time"``, ``"near_linear"`` — the name is what ships to
+        the workers) or a module-level callable ``Graph -> MISResult``
+        (e.g. :func:`repro.core.linear_time.linear_time`); a callable must
+        be picklable.
     processes:
         Worker count; defaults to ``os.cpu_count()``.  ``1`` disables the
         pool entirely and solves everything inline.
@@ -85,6 +122,7 @@ def solve_by_components_parallel(
     ``/components-parallel`` algorithm suffix and the wall time.
     """
     start = time.perf_counter()
+    solver = _resolve_algorithm(algorithm)
     components = connected_components(graph)
     inline: List[Tuple[List[int], Graph]] = []
     pooled: List[Tuple[List[int], Graph]] = []
@@ -96,14 +134,14 @@ def solve_by_components_parallel(
             inline.append((old_ids, subgraph))
 
     solved: List[Tuple[List[int], MISResult]] = [
-        (old_ids, algorithm(subgraph)) for old_ids, subgraph in inline
+        (old_ids, solver(subgraph)) for old_ids, subgraph in inline
     ]
     if pooled:
         if processes is None:
             processes = os.cpu_count() or 1
         workers = max(1, min(processes, len(pooled)))
         if workers == 1:
-            solved.extend((old_ids, algorithm(subgraph)) for old_ids, subgraph in pooled)
+            solved.extend((old_ids, solver(subgraph)) for old_ids, subgraph in pooled)
         else:
             payloads = []
             for _, subgraph in pooled:

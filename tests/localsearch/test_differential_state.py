@@ -1,0 +1,174 @@
+"""Differential tests: FlatLocalSearchState vs. the legacy oracle.
+
+:class:`~repro.localsearch.flat_state.FlatLocalSearchState` (the CSR /
+incremental-1-tight-index backend ARW runs on by default) must make the
+*identical move sequence* as the legacy
+:class:`~repro.localsearch.arw.LocalSearchState` — same swaps in the same
+order, so under a shared RNG seed the two ARW runs consume the same random
+stream and land on the same solutions.  These tests assert that on 20+
+seeded generator graphs, at every level: elementary moves, the (1,2)-swap
+scan, one local-search exhaust, and full ``arw`` / ``arw_lt`` / ``arw_nl``
+trajectories.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import assert_valid_solution
+from repro.errors import NotASolutionError
+from repro.graphs.generators import (
+    gnm_random_graph,
+    power_law_graph,
+    web_like_graph,
+)
+from repro.localsearch import FlatLocalSearchState, arw, arw_lt, arw_nl
+from repro.localsearch.arw import LocalSearchState
+
+
+def _corpus():
+    """20+ small seeded graphs spanning the generator families."""
+    graphs = []
+    for seed in range(8):
+        graphs.append(gnm_random_graph(60 + 5 * seed, 150 + 12 * seed, seed=seed))
+    for seed in range(8):
+        graphs.append(
+            power_law_graph(70 + 5 * seed, beta=2.1 + (seed % 4) * 0.2,
+                            average_degree=3.5 + (seed % 3), seed=seed)
+        )
+    for seed in range(6):
+        graphs.append(web_like_graph(65 + 5 * seed, attach=2 + seed % 3, seed=seed))
+    return graphs
+
+
+CORPUS = _corpus()
+
+
+def _greedy_maximal(graph):
+    """Deterministic id-order greedy maximal independent set."""
+    taken = bytearray(graph.n)
+    solution = []
+    for v in range(graph.n):
+        if not taken[v]:
+            solution.append(v)
+            taken[v] = 1
+            for w in graph.neighbors(v):
+                taken[w] = 1
+    return solution
+
+
+def _assert_states_equal(flat, oracle, context):
+    assert flat.size == oracle.size, context
+    assert flat.in_solution == oracle.in_solution, context
+    assert flat.tightness == oracle.tightness, context
+    assert flat._last_outside == oracle._last_outside, context
+
+
+def test_corpus_is_large_enough():
+    assert len(CORPUS) >= 20
+
+
+def test_elementary_moves_agree():
+    # Drive both states through the same scripted insert/remove/force_insert
+    # sequence and compare the full bookkeeping after every move.
+    for graph in CORPUS[::4]:
+        seed_solution = _greedy_maximal(graph)
+        flat = FlatLocalSearchState(graph, seed_solution)
+        oracle = LocalSearchState(graph, seed_solution)
+        _assert_states_equal(flat, oracle, graph.name)
+        rng = random.Random(17)
+        for step in range(60):
+            v = rng.randrange(graph.n)
+            if oracle.in_solution[v]:
+                flat.remove(v, clock=step)
+                oracle.remove(v, clock=step)
+            else:
+                flat.force_insert(v, clock=step)
+                oracle.force_insert(v, clock=step)
+            _assert_states_equal(flat, oracle, (graph.name, step, v))
+        assert flat.solution() == oracle.solution()
+
+
+def test_insert_rejects_non_solution_vertex():
+    graph = gnm_random_graph(30, 60, seed=3)
+    seed_solution = _greedy_maximal(graph)
+    flat = FlatLocalSearchState(graph, seed_solution)
+    blocked = next(v for v in range(graph.n) if flat.tightness[v] > 0)
+    with pytest.raises(NotASolutionError):
+        flat.insert(blocked)
+
+
+def test_swap_scan_returns_identical_pairs():
+    # The incremental index plus stamp array must pick the exact pair the
+    # oracle's set-based scan picks (first u in adjacency order with a
+    # partner, first such partner) — or agree there is none.
+    for graph in CORPUS[::3]:
+        seed_solution = _greedy_maximal(graph)
+        flat = FlatLocalSearchState(graph, seed_solution)
+        oracle = LocalSearchState(graph, seed_solution)
+        for x in range(graph.n):
+            if not oracle.in_solution[x]:
+                continue
+            assert flat.one_tight_neighbors(x) == oracle.one_tight_neighbors(x)
+            assert flat.find_one_two_swap(x) == oracle.find_one_two_swap(x), (
+                graph.name,
+                x,
+            )
+
+
+def test_local_search_exhaust_agrees():
+    for graph in CORPUS:
+        seed_solution = _greedy_maximal(graph)
+        flat = FlatLocalSearchState(graph, seed_solution)
+        oracle = LocalSearchState(graph, seed_solution)
+        gained_flat = flat.local_search()
+        gained_oracle = oracle.local_search()
+        assert gained_flat == gained_oracle, graph.name
+        _assert_states_equal(flat, oracle, graph.name)
+        assert_valid_solution(graph, flat.solution())
+
+
+def test_arw_trajectories_identical_under_fixed_seed():
+    # The headline claim: same RNG seed => same solution-size trajectory
+    # (sequence of improvement sizes), same final solution, on every graph.
+    for graph in CORPUS:
+        initial = _greedy_maximal(graph)
+        best_flat, rec_flat = arw(
+            graph, initial, time_budget=3600.0, seed=11, max_iterations=25
+        )
+        best_oracle, rec_oracle = arw(
+            graph,
+            initial,
+            time_budget=3600.0,
+            seed=11,
+            max_iterations=25,
+            state_factory=LocalSearchState,
+        )
+        assert best_flat == best_oracle, graph.name
+        sizes_flat = [size for _, size in rec_flat.events]
+        sizes_oracle = [size for _, size in rec_oracle.events]
+        assert sizes_flat == sizes_oracle, graph.name
+        assert_valid_solution(graph, best_flat)
+
+
+def test_boosted_variants_agree_across_state_factories():
+    for graph in CORPUS[::5]:
+        for variant in (arw_lt, arw_nl):
+            flat = variant(
+                graph,
+                time_budget=3600.0,
+                max_iterations=15,
+                rng=random.Random(5),
+            )
+            oracle = variant(
+                graph,
+                time_budget=3600.0,
+                max_iterations=15,
+                state_factory=LocalSearchState,
+                rng=random.Random(5),
+            )
+            assert flat.independent_set == oracle.independent_set, (
+                graph.name,
+                variant.__name__,
+            )
+            assert_valid_solution(graph, flat.independent_set)

@@ -17,15 +17,42 @@ def test_smoke_suite_writes_report(tmp_path):
     assert report["suite"] == "smoke"
     for gname in report["graphs"]:
         timings = report["timings"][gname]
-        for algorithm in ("BDOne", "LinearTime"):
+        for algorithm in ("BDOne", "LinearTime", "NearLinear"):
             rec = timings[algorithm]
             assert rec["flat_wall"] > 0
-            assert rec["array_wall"] > 0
+            assert rec["oracle_wall"] > 0
             assert rec["speedup"] > 0
         assert report["kernels"][gname]["linear_time"]["n"] >= 0
     counters = report["live_counters"]
     assert counters["maintained_us"] > 0
     assert counters["scan_us"] > 0
+
+
+def test_smoke_suite_arw_lt_track(tmp_path):
+    # gnm-400's LinearTime kernel is nonempty, so the ARW-LT track must be
+    # present there with both the swap-scan and end-to-end measurements.
+    out = tmp_path / "report.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    rec = report["timings"]["gnm-400"]["ARW-LT"]
+    assert rec["flat_scan"] > 0
+    assert rec["oracle_scan"] > 0
+    assert rec["scan_speedup"] > 0
+    assert rec["flat_wall"] > 0
+    assert rec["oracle_wall"] > 0
+    assert rec["kernel_n"] > 0
+    assert rec["iterations"] == bench_regression._ARW_ITERATIONS
+
+
+def test_gated_tracks_cover_all_flat_backends():
+    assert set(bench_regression.GATED_TRACKS) == {
+        "linear_time",
+        "near_linear",
+        "arw_lt",
+    }
+    for record, field in bench_regression.GATED_TRACKS.values():
+        assert field == "flat_wall"
+        assert record in {"LinearTime", "NearLinear", "ARW-LT"}
 
 
 def test_compare_self_passes(tmp_path):
@@ -36,17 +63,57 @@ def test_compare_self_passes(tmp_path):
     assert failures == []
 
 
-def test_compare_detects_regression(tmp_path):
-    out = tmp_path / "report.json"
-    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
-    report = json.loads(out.read_text())
-    tampered = copy.deepcopy(report)
-    for gname in tampered["timings"]:
-        rec = tampered["timings"][gname][bench_regression.GATED_ALGORITHM]
-        rec["flat_wall"] = rec["flat_wall"] / 10.0  # baseline 10x faster
-    failures = bench_regression.compare_reports(tampered, report, max_regression=2.0)
-    assert failures
-    assert any(bench_regression.GATED_ALGORITHM in f for f in failures)
+def test_compare_detects_regression_per_track():
+    # Synthetic reports: tampering any single gated track must trip the
+    # gate, and the failure message must name that track.
+    base_rec = {"flat_wall": 1.0, "oracle_wall": 2.0, "speedup": 2.0}
+    baseline = {
+        "suite": "synthetic",
+        "timings": {
+            "g": {
+                record: dict(base_rec)
+                for record, _ in bench_regression.GATED_TRACKS.values()
+            }
+        },
+    }
+    for track, (record, field) in bench_regression.GATED_TRACKS.items():
+        tampered = copy.deepcopy(baseline)
+        tampered["timings"]["g"][record][field] = 10.0  # 10x slower than base
+        failures = bench_regression.compare_reports(
+            baseline, tampered, max_regression=2.0
+        )
+        assert failures, track
+        assert any(track in f for f in failures), failures
+
+
+def test_compare_respects_max_regression_threshold():
+    baseline = {
+        "suite": "synthetic",
+        "timings": {"g": {"LinearTime": {"flat_wall": 1.0}}},
+    }
+    current = {
+        "suite": "synthetic",
+        "timings": {"g": {"LinearTime": {"flat_wall": 2.5}}},
+    }
+    # 2.5x regression: fails the default-style 2.0 gate, passes a looser 3.0.
+    assert bench_regression.compare_reports(baseline, current, max_regression=2.0)
+    assert not bench_regression.compare_reports(baseline, current, max_regression=3.0)
+
+
+def test_compare_skips_missing_tracks():
+    # ARW-LT is absent on graphs the exact rules solve outright; a track
+    # missing from either side must be skipped, not crash the gate.
+    baseline = {
+        "suite": "synthetic",
+        "timings": {"g": {"LinearTime": {"flat_wall": 1.0}}},
+    }
+    current = {
+        "suite": "synthetic",
+        "timings": {
+            "g": {"LinearTime": {"flat_wall": 1.0}, "ARW-LT": {"flat_wall": 9.0}}
+        },
+    }
+    assert bench_regression.compare_reports(baseline, current, max_regression=2.0) == []
 
 
 def test_compare_gate_exit_code(tmp_path):
@@ -54,9 +121,10 @@ def test_compare_gate_exit_code(tmp_path):
     baseline = tmp_path / "baseline.json"
     assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
     report = json.loads(out.read_text())
+    record, field = bench_regression.GATED_TRACKS["linear_time"]
     for gname in report["timings"]:
-        rec = report["timings"][gname][bench_regression.GATED_ALGORITHM]
-        rec["flat_wall"] = rec["flat_wall"] / 100.0
+        rec = report["timings"][gname][record]
+        rec[field] = rec[field] / 100.0  # baseline 100x faster
     baseline.write_text(json.dumps(report))
     code = bench_regression.main(
         [
@@ -72,6 +140,34 @@ def test_compare_gate_exit_code(tmp_path):
         ]
     )
     assert code == 1
+
+
+def test_max_regression_flag_loosens_gate(tmp_path):
+    # The same tampered baseline that fails at the default threshold must
+    # pass when --max-regression is raised above the injected ratio.
+    out = tmp_path / "report.json"
+    baseline = tmp_path / "baseline.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    record, field = bench_regression.GATED_TRACKS["linear_time"]
+    for gname in report["timings"]:
+        rec = report["timings"][gname][record]
+        rec[field] = rec[field] / 3.0  # fresh runs look ~3x slower
+    baseline.write_text(json.dumps(report))
+    code = bench_regression.main(
+        [
+            "--smoke",
+            "--out",
+            str(out),
+            "--repeats",
+            "1",
+            "--compare",
+            str(baseline),
+            "--max-regression",
+            "1000.0",
+        ]
+    )
+    assert code == 0
 
 
 def test_compare_disjoint_suites_reports_no_overlap():

@@ -5,12 +5,15 @@ over components, so shipping components to worker processes must change
 nothing but the algorithm label and the wall time.
 """
 
+import pytest
+
 from repro.core.bdone import bdone
 from repro.core.components import solve_by_components
 from repro.core.linear_time import linear_time
+from repro.core.near_linear import near_linear
 from repro.graphs import Graph
 from repro.graphs.generators import disjoint_union, gnm_random_graph, power_law_graph
-from repro.perf import solve_by_components_parallel
+from repro.perf import ALGORITHM_BY_NAME, solve_by_components_parallel
 
 
 def _assert_equivalent(parallel, serial):
@@ -88,3 +91,48 @@ def test_threshold_above_all_components_solves_inline():
         union, linear_time, processes=4, min_component_size=10_000
     )
     _assert_equivalent(parallel, serial)
+
+
+def test_registry_names_cover_every_dispatchable_algorithm():
+    assert ALGORITHM_BY_NAME == {
+        "bdone": bdone,
+        "linear_time": linear_time,
+        "near_linear": near_linear,
+    }
+
+
+def test_dispatch_by_name_matches_dispatch_by_callable():
+    # The registry name is what ships to the workers; both spellings must
+    # produce the identical merged result.
+    union = disjoint_union(
+        [
+            gnm_random_graph(250, 750, seed=10),
+            power_law_graph(220, beta=2.3, average_degree=5.0, seed=11),
+            gnm_random_graph(35, 70, seed=12),
+        ]
+    )
+    for name, algorithm in sorted(ALGORITHM_BY_NAME.items()):
+        by_name = solve_by_components_parallel(
+            union, name, processes=2, min_component_size=100
+        )
+        by_callable = solve_by_components_parallel(
+            union, algorithm, processes=2, min_component_size=100
+        )
+        _assert_equivalent(by_name, by_callable)
+        serial = solve_by_components(union, algorithm)
+        _assert_equivalent(by_name, serial)
+
+
+def test_near_linear_by_name_inline_path():
+    g = power_law_graph(300, beta=2.2, average_degree=5.0, seed=13)
+    serial = solve_by_components(g, near_linear)
+    parallel = solve_by_components_parallel(
+        g, "near_linear", processes=1, min_component_size=10
+    )
+    _assert_equivalent(parallel, serial)
+
+
+def test_unknown_algorithm_name_raises():
+    g = gnm_random_graph(20, 40, seed=14)
+    with pytest.raises(ValueError, match="unknown algorithm name"):
+        solve_by_components_parallel(g, "no_such_algorithm")

@@ -39,6 +39,38 @@ class RunRecord:
     solver_elapsed: float
     model_memory_words: int
 
+    @classmethod
+    def from_result(
+        cls,
+        name: str,
+        result: MISResult,
+        elapsed: float,
+        model_memory_words: int = 0,
+    ) -> "RunRecord":
+        """Build a record from a solver result and the harness wall time.
+
+        ``solver_elapsed`` is always taken from ``result.elapsed`` — the two
+        clocks have one source of truth and cannot diverge.  The harness
+        clock wraps the solver clock, so ``elapsed`` is clamped up to it
+        (sub-microsecond jitter between two ``perf_counter`` windows would
+        otherwise produce a negative overhead).
+        """
+        return cls(
+            algorithm=name,
+            graph_name=result.graph_name,
+            size=result.size,
+            upper_bound=result.upper_bound,
+            is_exact=result.is_exact,
+            elapsed=max(elapsed, result.elapsed),
+            solver_elapsed=result.elapsed,
+            model_memory_words=model_memory_words,
+        )
+
+    @property
+    def overhead(self) -> float:
+        """Harness wall time not accounted for by the solver's own clock."""
+        return self.elapsed - self.solver_elapsed
+
 
 def time_call(fn: Callable[[], object]) -> Tuple[object, float]:
     """Run ``fn`` once, returning ``(result, wall_seconds)``."""
@@ -60,15 +92,6 @@ def run_algorithms(
         except Exception:
             words = 0
         records.append(
-            RunRecord(
-                algorithm=name,
-                graph_name=graph.name,
-                size=result.size,
-                upper_bound=result.upper_bound,
-                is_exact=result.is_exact,
-                elapsed=elapsed,
-                solver_elapsed=result.elapsed,
-                model_memory_words=words,
-            )
+            RunRecord.from_result(name, result, elapsed, model_memory_words=words)
         )
     return records

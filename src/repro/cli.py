@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the library's everyday uses:
+Five subcommands cover the library's everyday uses:
 
 * ``solve``     — compute an independent set (or vertex cover) of a graph
-  file with any of the paper's algorithms;
+  file with any of the paper's algorithms; ``--telemetry trace.jsonl``
+  additionally records a phase-span trace (see :mod:`repro.obs`);
 * ``kernelize`` — shrink a graph to its kernel and write it back out;
 * ``info``      — print structural statistics of a graph file;
-* ``generate``  — emit a synthetic graph (power-law, G(n,m), web-like).
+* ``generate``  — emit a synthetic graph (power-law, G(n,m), web-like);
+* ``obs``       — inspect observability artefacts (``obs report`` pretty-
+  prints a JSON-lines telemetry trace).
 
 Graph files are auto-detected by extension: ``.metis``/``.graph`` (METIS),
 ``.col``/``.dimacs`` (DIMACS), anything else as a SNAP edge list.
@@ -64,10 +67,38 @@ def load_graph(path: str) -> Tuple[Graph, Optional[List[int]]]:
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph, labels = load_graph(args.graph)
     name = args.algorithm
-    if name in _BASELINES:
-        result = _BASELINES[name](graph)
+
+    def run():
+        if name in _BASELINES:
+            return _BASELINES[name](graph)
+        return compute_independent_set(graph, name)
+
+    if args.telemetry:
+        from .obs import (
+            MemoryProbe,
+            probe_record,
+            summarize,
+            telemetry_session,
+            write_trace,
+        )
+
+        with telemetry_session(label=f"solve-{name}") as telemetry:
+            if args.telemetry_memory:
+                with MemoryProbe() as probe:
+                    result = run()
+                probe_record(probe, name, graph, telemetry=telemetry)
+            else:
+                result = run()
+        records = telemetry.to_records()
+        count = write_trace(args.telemetry, records)
+        span_total = summarize(records)["span_total"]
+        print(
+            f"# telemetry: {count} records to {args.telemetry} "
+            f"(span total {span_total:.3f}s; "
+            f"view with `python -m repro obs report {args.telemetry}`)"
+        )
     else:
-        result = compute_independent_set(graph, name)
+        result = run()
     vertices = sorted(result.independent_set)
     if args.vertex_cover:
         vertices = sorted(complement_vertex_cover(graph, result.independent_set))
@@ -140,6 +171,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs import load_trace, render_report
+
+    print(render_report(load_trace(args.trace), title=f"trace: {args.trace}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -160,6 +198,16 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--output", help="write the vertex ids to this file")
     solve.add_argument(
         "--print-vertices", action="store_true", help="print the vertex ids to stdout"
+    )
+    solve.add_argument(
+        "--telemetry",
+        metavar="TRACE",
+        help="record a phase-span telemetry trace to this JSON-lines file",
+    )
+    solve.add_argument(
+        "--telemetry-memory",
+        action="store_true",
+        help="with --telemetry: add a tracemalloc peak-heap probe (slow)",
     )
     solve.set_defaults(handler=_cmd_solve)
 
@@ -185,6 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--beta", type=float, default=2.2)
     generate.add_argument("--seed", type=int, default=0)
     generate.set_defaults(handler=_cmd_generate)
+
+    obs = commands.add_parser("obs", help="inspect observability artefacts")
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_commands.add_parser(
+        "report", help="pretty-print a JSON-lines telemetry trace"
+    )
+    obs_report.add_argument("trace", help="trace file written by --telemetry")
+    obs_report.set_defaults(handler=_cmd_obs_report)
     return parser
 
 

@@ -25,9 +25,11 @@ import time
 from typing import Callable, Optional
 
 from ..graphs.static_graph import Graph
-from .result import MISResult
+from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, PEEL
 from .workspace import FlatWorkspace
+from ..obs.instrument import finish_profile, instrumented_factory, traced_replay
+from ..obs.telemetry import get_telemetry, phase
 
 __all__ = ["bdone"]
 
@@ -46,13 +48,13 @@ def _run_generic(workspace) -> None:
             for v in iter_live_neighbors(u):
                 delete_vertex(v, "exclude")
                 break
-            bump("degree-one")
+            bump(STAT_DEGREE_ONE)
             continue
         u = pop_max_degree()
         if u is None:
             break
         delete_vertex(u, "peel")
-        bump("peel")
+        bump(STAT_PEEL)
 
 
 def _run_flat(workspace: FlatWorkspace) -> None:
@@ -125,9 +127,9 @@ def _run_flat(workspace: FlatWorkspace) -> None:
     workspace._nlive -= dead
     workspace._live_deg_sum -= deg_sum_drop
     if degree_one_count:
-        log.bump("degree-one", degree_one_count)
+        log.bump(STAT_DEGREE_ONE, degree_one_count)
     if peel_count:
-        log.bump("peel", peel_count)
+        log.bump(STAT_PEEL, peel_count)
 
 
 def bdone(
@@ -144,14 +146,25 @@ def bdone(
     vertex stayed outside the final solution.
     """
     start = time.perf_counter()
+    telemetry = get_telemetry()  # one global check per run
     factory = FlatWorkspace if workspace_factory is None else workspace_factory
-    workspace = factory(graph, track_degree_two=False)
-    if type(workspace) is FlatWorkspace:
-        _run_flat(workspace)
-    else:
-        _run_generic(workspace)
+    if telemetry is not None:
+        factory = instrumented_factory(factory, telemetry, "BDOne", graph.name)
+    with phase(telemetry, "setup", algorithm="BDOne", graph=graph.name):
+        workspace = factory(graph, track_degree_two=False)
+    with phase(telemetry, "reduce", algorithm="BDOne", graph=graph.name) as span:
+        if type(workspace) is FlatWorkspace:
+            _run_flat(workspace)
+        else:
+            _run_generic(workspace)
+        span.meta["counters"] = dict(workspace.log.stats)
     log = workspace.log
-    outcome = log.replay(graph)
+    if telemetry is not None:
+        finish_profile(workspace)
+        telemetry.add_counters(log.stats)
+        outcome = traced_replay(log, graph, telemetry, "BDOne")
+    else:
+        outcome = log.replay(graph)
     return MISResult(
         algorithm="BDOne",
         graph_name=graph.name,

@@ -23,8 +23,16 @@ from typing import List, Optional
 
 from ..graphs.static_graph import Graph
 from .bucket_queue import MaxDegreeSelector
-from .result import MISResult
+from .result import (
+    STAT_DEGREE_ONE,
+    STAT_DEGREE_TWO_FOLDING,
+    STAT_DEGREE_TWO_ISOLATION,
+    STAT_PEEL,
+    MISResult,
+)
 from .trace import DecisionLog
+from ..obs.instrument import traced_replay
+from ..obs.telemetry import get_telemetry, phase
 
 __all__ = ["bdtwo"]
 
@@ -129,34 +137,45 @@ class _DynamicWorkspace:
 def bdtwo(graph: Graph) -> MISResult:
     """Compute a maximal independent set of ``graph`` with BDTwo."""
     start = time.perf_counter()
-    ws = _DynamicWorkspace(graph)
+    telemetry = get_telemetry()  # one global check per run
+    with phase(telemetry, "setup", algorithm="BDTwo", graph=graph.name):
+        ws = _DynamicWorkspace(graph)
     log = ws.log
-    while True:
-        u = ws.pop_degree(ws.v1, 1)
-        if u is not None:
-            (v,) = ws.adj[u]
-            ws.delete_vertex(v, "exclude")
-            log.bump("degree-one")
-            continue
-        u = ws.pop_degree(ws.v2, 2)
-        if u is not None:
-            v, w = ws.adj[u]
-            if w in ws.adj[v]:
+    # BDTwo's dynamic workspace does not maintain the PR-1 live counters
+    # (contraction makes them ambiguous), so it gets phase spans and
+    # counter snapshots but no sampled peeling profile.
+    with phase(telemetry, "reduce", algorithm="BDTwo", graph=graph.name) as span:
+        while True:
+            u = ws.pop_degree(ws.v1, 1)
+            if u is not None:
+                (v,) = ws.adj[u]
                 ws.delete_vertex(v, "exclude")
-                ws.delete_vertex(w, "exclude")
-                log.bump("degree-two-isolation")
-            else:
-                log.fold(u, v, w)
-                ws.delete_vertex(u, None)
-                ws.contract(v, w)
-                log.bump("degree-two-folding")
-            continue
-        u = ws.pop_max_degree()
-        if u is None:
-            break
-        ws.delete_vertex(u, "peel")
-        log.bump("peel")
-    outcome = log.replay(graph)
+                log.bump(STAT_DEGREE_ONE)
+                continue
+            u = ws.pop_degree(ws.v2, 2)
+            if u is not None:
+                v, w = ws.adj[u]
+                if w in ws.adj[v]:
+                    ws.delete_vertex(v, "exclude")
+                    ws.delete_vertex(w, "exclude")
+                    log.bump(STAT_DEGREE_TWO_ISOLATION)
+                else:
+                    log.fold(u, v, w)
+                    ws.delete_vertex(u, None)
+                    ws.contract(v, w)
+                    log.bump(STAT_DEGREE_TWO_FOLDING)
+                continue
+            u = ws.pop_max_degree()
+            if u is None:
+                break
+            ws.delete_vertex(u, "peel")
+            log.bump(STAT_PEEL)
+        span.meta["counters"] = dict(log.stats)
+    if telemetry is not None:
+        telemetry.add_counters(log.stats)
+        outcome = traced_replay(log, graph, telemetry, "BDTwo")
+    else:
+        outcome = log.replay(graph)
     return MISResult(
         algorithm="BDTwo",
         graph_name=graph.name,

@@ -30,6 +30,15 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from .result import (
+    STAT_PATH_ANCHOR_SHARED,
+    STAT_PATH_CYCLE,
+    STAT_PATH_EVEN_EDGE,
+    STAT_PATH_EVEN_NO_EDGE,
+    STAT_PATH_ODD_EDGE,
+    STAT_PATH_ODD_NO_EDGE,
+)
+
 __all__ = [
     "PathDiscovery",
     "find_maximal_degree_two_path",
@@ -43,12 +52,15 @@ __all__ = [
     "RULE_IRREDUCIBLE",
 ]
 
-RULE_CYCLE = "path:cycle"
-RULE_ANCHOR_SHARED = "path:v-equals-w"
-RULE_ODD_EDGE = "path:odd-edge"
-RULE_ODD_NO_EDGE = "path:odd-no-edge"
-RULE_EVEN_EDGE = "path:even-edge"
-RULE_EVEN_NO_EDGE = "path:even-no-edge"
+# Historical names for the Lemma 4.1 cases; the canonical spellings live in
+# the stat-key registry (:mod:`repro.core.result`) so the counter dicts of
+# every backend agree key-for-key.
+RULE_CYCLE = STAT_PATH_CYCLE
+RULE_ANCHOR_SHARED = STAT_PATH_ANCHOR_SHARED
+RULE_ODD_EDGE = STAT_PATH_ODD_EDGE
+RULE_ODD_NO_EDGE = STAT_PATH_ODD_NO_EDGE
+RULE_EVEN_EDGE = STAT_PATH_EVEN_EDGE
+RULE_EVEN_NO_EDGE = STAT_PATH_EVEN_NO_EDGE
 RULE_IRREDUCIBLE = "path:irreducible"
 
 

@@ -28,9 +28,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..graphs.static_graph import Graph
 from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
-from .result import MISResult
+from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, PEEL, DecisionLog
 from .workspace import FlatWorkspace
+from ..obs.instrument import finish_profile, instrumented_factory, traced_replay
+from ..obs.telemetry import get_telemetry, phase
 
 __all__ = ["linear_time", "linear_time_reduce"]
 
@@ -54,7 +56,7 @@ def _reduce(workspace, stop_before_peel: bool) -> bool:
             for v in iter_live_neighbors(u):
                 delete_vertex(v, "exclude")
                 break
-            bump("degree-one")
+            bump(STAT_DEGREE_ONE)
             continue
         u = pop_degree_two()
         if u is not None:
@@ -70,7 +72,7 @@ def _reduce(workspace, stop_before_peel: bool) -> bool:
             # still contains it, so nothing further is needed.
             return False
         delete_vertex(u, "peel")
-        bump("peel")
+        bump(STAT_PEEL)
 
 
 def _reduce_flat(workspace: FlatWorkspace, stop_before_peel: bool) -> bool:
@@ -178,11 +180,11 @@ def _reduce_flat(workspace: FlatWorkspace, stop_before_peel: bool) -> bool:
     workspace._nlive -= dead
     workspace._live_deg_sum -= deg_sum_drop
     if degree_one_count:
-        log.bump("degree-one", degree_one_count)
+        log.bump(STAT_DEGREE_ONE, degree_one_count)
     for rule, count in rule_counts.items():
         log.bump(rule, count)
     if peel_count:
-        log.bump("peel", peel_count)
+        log.bump(STAT_PEEL, peel_count)
     return consumed
 
 
@@ -205,10 +207,21 @@ def linear_time(
     oracle — both yield identical decision logs).
     """
     start = time.perf_counter()
+    telemetry = get_telemetry()  # one global check per run
     factory = FlatWorkspace if workspace_factory is None else workspace_factory
-    workspace = factory(graph, track_degree_two=True)
-    _run(workspace, stop_before_peel=False)
-    outcome = workspace.log.replay(graph)
+    if telemetry is not None:
+        factory = instrumented_factory(factory, telemetry, "LinearTime", graph.name)
+    with phase(telemetry, "setup", algorithm="LinearTime", graph=graph.name):
+        workspace = factory(graph, track_degree_two=True)
+    with phase(telemetry, "reduce", algorithm="LinearTime", graph=graph.name) as span:
+        _run(workspace, stop_before_peel=False)
+        span.meta["counters"] = dict(workspace.log.stats)
+    if telemetry is not None:
+        finish_profile(workspace)
+        telemetry.add_counters(workspace.log.stats)
+        outcome = traced_replay(workspace.log, graph, telemetry, "LinearTime")
+    else:
+        outcome = workspace.log.replay(graph)
     return MISResult(
         algorithm="LinearTime",
         graph_name=graph.name,
@@ -233,8 +246,21 @@ def linear_time_reduce(
     a solution for the kernel is known.  Used by ARW-LT (Section 6) and the
     Eval-III kernel comparison.
     """
+    telemetry = get_telemetry()
     factory = FlatWorkspace if workspace_factory is None else workspace_factory
-    workspace = factory(graph, track_degree_two=True)
-    _run(workspace, stop_before_peel=True)
-    kernel, old_ids = workspace.export_kernel()
+    if telemetry is not None:
+        factory = instrumented_factory(
+            factory, telemetry, "LinearTime-reduce", graph.name
+        )
+    with phase(telemetry, "setup", algorithm="LinearTime-reduce", graph=graph.name):
+        workspace = factory(graph, track_degree_two=True)
+    with phase(
+        telemetry, "reduce", algorithm="LinearTime-reduce", graph=graph.name
+    ) as span:
+        _run(workspace, stop_before_peel=True)
+        span.meta["counters"] = dict(workspace.log.stats)
+    if telemetry is not None:
+        finish_profile(workspace)
+    with phase(telemetry, "kernel-export", algorithm="LinearTime-reduce", graph=graph.name):
+        kernel, old_ids = workspace.export_kernel()
     return kernel, old_ids, workspace.log

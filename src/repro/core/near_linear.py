@@ -27,8 +27,18 @@ from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .dominance import TriangleWorkspace, one_pass_dominance
 from .flat_dominance import FlatTriangleWorkspace, flat_one_pass_dominance
 from .lp_reduction import lp_reduction
-from .result import MISResult
+from .result import (
+    STAT_DEGREE_ONE,
+    STAT_DOMINANCE,
+    STAT_LP_EXCLUDED,
+    STAT_LP_INCLUDED,
+    STAT_ONE_PASS_DOMINANCE,
+    STAT_PEEL,
+    MISResult,
+)
 from .trace import EXCLUDE, INCLUDE, DecisionLog
+from ..obs.instrument import finish_profile, instrumented_factory, traced_replay
+from ..obs.telemetry import get_telemetry, phase
 
 __all__ = ["near_linear", "near_linear_reduce"]
 
@@ -57,7 +67,7 @@ def _main_loop(workspace, stop_before_peel: bool) -> bool:
             for v in iter_live_neighbors(u):
                 delete_vertex(v, "exclude")
                 break
-            bump("degree-one")
+            bump(STAT_DEGREE_ONE)
             continue
         u = pop_degree_two()
         if u is not None:
@@ -68,7 +78,7 @@ def _main_loop(workspace, stop_before_peel: bool) -> bool:
         u = pop_dominated()
         if u is not None:
             delete_vertex(u, "exclude")
-            bump("dominance")
+            bump(STAT_DOMINANCE)
             continue
         u = pop_max_degree()
         if u is None:
@@ -76,11 +86,11 @@ def _main_loop(workspace, stop_before_peel: bool) -> bool:
         if stop_before_peel:
             return False
         delete_vertex(u, "peel")
-        bump("peel")
+        bump(STAT_PEEL)
 
 
 def _preprocess(
-    graph: Graph, log: DecisionLog, preprocess: bool, flat: bool = True
+    graph: Graph, log: DecisionLog, preprocess: bool, flat: bool = True, telemetry=None
 ) -> Tuple[Graph, List[int]]:
     """Phases 1–2: one-pass dominance, then the LP reduction.
 
@@ -88,26 +98,37 @@ def _preprocess(
     and its id map.  ``flat`` picks the stamp-based sweep over the
     set-based oracle — both produce the identical removed list (the
     differential suite asserts it), so this only changes the constant.
+    ``telemetry`` wraps the two phases in ``dominance-sweep`` /
+    ``lp-kernel`` spans when a sink is active.
     """
     if not preprocess:
         return graph, list(range(graph.n))
-    sweep = flat_one_pass_dominance if flat else one_pass_dominance
-    dominated = sweep(graph)
-    # Bulk-append the phase decisions (one entry per vertex; a method call
-    # per decision is measurable here — phases 1–2 settle most vertices).
-    entries = log.entries
-    entries.extend((EXCLUDE, (u,)) for u in dominated)
-    log.bump("one-pass-dominance", len(dominated))
-    keep = bytearray([1]) * graph.n if graph.n else bytearray()
-    for u in dominated:
-        keep[u] = 0
-    survivors = [v for v in range(graph.n) if keep[v]]
-    residual, ids = graph.subgraph(survivors)
-    lp = lp_reduction(residual)
-    entries.extend((INCLUDE, (ids[v],)) for v in lp.included)
-    entries.extend((EXCLUDE, (ids[v],)) for v in lp.excluded)
-    log.bump("lp-included", len(lp.included))
-    log.bump("lp-excluded", len(lp.excluded))
+    with phase(
+        telemetry, "dominance-sweep", algorithm="NearLinear", graph=graph.name
+    ) as span:
+        sweep = flat_one_pass_dominance if flat else one_pass_dominance
+        dominated = sweep(graph)
+        # Bulk-append the phase decisions (one entry per vertex; a method
+        # call per decision is measurable — phases 1–2 settle most vertices).
+        entries = log.entries
+        entries.extend((EXCLUDE, (u,)) for u in dominated)
+        log.bump(STAT_ONE_PASS_DOMINANCE, len(dominated))
+        span.meta["removed"] = len(dominated)
+    with phase(
+        telemetry, "lp-kernel", algorithm="NearLinear", graph=graph.name
+    ) as span:
+        keep = bytearray([1]) * graph.n if graph.n else bytearray()
+        for u in dominated:
+            keep[u] = 0
+        survivors = [v for v in range(graph.n) if keep[v]]
+        residual, ids = graph.subgraph(survivors)
+        lp = lp_reduction(residual)
+        entries.extend((INCLUDE, (ids[v],)) for v in lp.included)
+        entries.extend((EXCLUDE, (ids[v],)) for v in lp.excluded)
+        log.bump(STAT_LP_INCLUDED, len(lp.included))
+        log.bump(STAT_LP_EXCLUDED, len(lp.excluded))
+        span.meta["included"] = len(lp.included)
+        span.meta["excluded"] = len(lp.excluded)
     half, half_ids = residual.subgraph(lp.remaining)
     return half, [ids[v] for v in half_ids]
 
@@ -129,15 +150,27 @@ def near_linear(
     produce byte-identical decision logs.
     """
     start = time.perf_counter()
+    telemetry = get_telemetry()  # one global check per run
     log = DecisionLog()
     factory = FlatTriangleWorkspace if workspace_factory is None else workspace_factory
     residual, ids = _preprocess(
-        graph, log, preprocess, flat=factory is not TriangleWorkspace
+        graph, log, preprocess, flat=factory is not TriangleWorkspace,
+        telemetry=telemetry,
     )
-    workspace = factory(residual)
-    _main_loop(workspace, stop_before_peel=False)
+    if telemetry is not None:
+        factory = instrumented_factory(factory, telemetry, "NearLinear", graph.name)
+    with phase(telemetry, "setup", algorithm="NearLinear", graph=graph.name):
+        workspace = factory(residual)
+    with phase(telemetry, "reduce", algorithm="NearLinear", graph=graph.name) as span:
+        _main_loop(workspace, stop_before_peel=False)
+        span.meta["counters"] = dict(workspace.log.stats)
     log.extend_mapped(workspace.log, ids)
-    outcome = log.replay(graph)
+    if telemetry is not None:
+        finish_profile(workspace)
+        telemetry.add_counters(log.stats)
+        outcome = traced_replay(log, graph, telemetry, "NearLinear")
+    else:
+        outcome = log.replay(graph)
     return MISResult(
         algorithm="NearLinear",
         graph_name=graph.name,
@@ -161,13 +194,29 @@ def near_linear_reduce(
     the Eval-III kernel comparison, and to report the paper's
     "kernel graph size by NearLinear" column of Table 3.
     """
+    telemetry = get_telemetry()
     log = DecisionLog()
     factory = FlatTriangleWorkspace if workspace_factory is None else workspace_factory
     residual, ids = _preprocess(
-        graph, log, preprocess, flat=factory is not TriangleWorkspace
+        graph, log, preprocess, flat=factory is not TriangleWorkspace,
+        telemetry=telemetry,
     )
-    workspace = factory(residual)
-    _main_loop(workspace, stop_before_peel=True)
+    if telemetry is not None:
+        factory = instrumented_factory(
+            factory, telemetry, "NearLinear-reduce", graph.name
+        )
+    with phase(telemetry, "setup", algorithm="NearLinear-reduce", graph=graph.name):
+        workspace = factory(residual)
+    with phase(
+        telemetry, "reduce", algorithm="NearLinear-reduce", graph=graph.name
+    ) as span:
+        _main_loop(workspace, stop_before_peel=True)
+        span.meta["counters"] = dict(workspace.log.stats)
+    if telemetry is not None:
+        finish_profile(workspace)
     log.extend_mapped(workspace.log, ids)
-    kernel, kernel_ids = workspace.export_kernel()
+    with phase(
+        telemetry, "kernel-export", algorithm="NearLinear-reduce", graph=graph.name
+    ):
+        kernel, kernel_ids = workspace.export_kernel()
     return kernel, [ids[v] for v in kernel_ids], log

@@ -1,11 +1,78 @@
-"""Result type shared by every independent-set algorithm in the library."""
+"""Result type shared by every independent-set algorithm in the library.
+
+This module also owns the **stat-key registry**: the canonical names of the
+per-rule application counters that algorithms report in
+:attr:`MISResult.stats`.  Legacy and flat drivers of the same algorithm must
+bump the *same* keys (the differential suite asserts the dicts are equal
+per graph), so the names live here — dependency-free, importable by every
+driver — instead of being scattered as string literals.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional
 
-__all__ = ["MISResult"]
+__all__ = [
+    "MISResult",
+    "STAT_DEGREE_ONE",
+    "STAT_PEEL",
+    "STAT_DOMINANCE",
+    "STAT_ONE_PASS_DOMINANCE",
+    "STAT_LP_INCLUDED",
+    "STAT_LP_EXCLUDED",
+    "STAT_DEGREE_TWO_ISOLATION",
+    "STAT_DEGREE_TWO_FOLDING",
+    "STAT_PATH_CYCLE",
+    "STAT_PATH_ANCHOR_SHARED",
+    "STAT_PATH_ODD_EDGE",
+    "STAT_PATH_ODD_NO_EDGE",
+    "STAT_PATH_EVEN_EDGE",
+    "STAT_PATH_EVEN_NO_EDGE",
+    "KNOWN_STAT_KEYS",
+]
+
+# ---------------------------------------------------------------------------
+# Stat-key registry (one canonical spelling per reduction rule)
+# ---------------------------------------------------------------------------
+STAT_DEGREE_ONE = "degree-one"
+STAT_PEEL = "peel"
+STAT_DOMINANCE = "dominance"
+STAT_ONE_PASS_DOMINANCE = "one-pass-dominance"
+STAT_LP_INCLUDED = "lp-included"
+STAT_LP_EXCLUDED = "lp-excluded"
+STAT_DEGREE_TWO_ISOLATION = "degree-two-isolation"
+STAT_DEGREE_TWO_FOLDING = "degree-two-folding"
+# The Lemma 4.1 path cases; :mod:`repro.core.degree_two_paths` re-exports
+# these under its historical ``RULE_*`` names.
+STAT_PATH_CYCLE = "path:cycle"
+STAT_PATH_ANCHOR_SHARED = "path:v-equals-w"
+STAT_PATH_ODD_EDGE = "path:odd-edge"
+STAT_PATH_ODD_NO_EDGE = "path:odd-no-edge"
+STAT_PATH_EVEN_EDGE = "path:even-edge"
+STAT_PATH_EVEN_NO_EDGE = "path:even-no-edge"
+
+#: Every counter key a reducing-peeling driver may emit.  Baselines and the
+#: exact solver add their own (``rounds``, ``twin``, …); this set covers the
+#: framework algorithms, whose flat/legacy backends must agree key-for-key.
+KNOWN_STAT_KEYS = frozenset(
+    {
+        STAT_DEGREE_ONE,
+        STAT_PEEL,
+        STAT_DOMINANCE,
+        STAT_ONE_PASS_DOMINANCE,
+        STAT_LP_INCLUDED,
+        STAT_LP_EXCLUDED,
+        STAT_DEGREE_TWO_ISOLATION,
+        STAT_DEGREE_TWO_FOLDING,
+        STAT_PATH_CYCLE,
+        STAT_PATH_ANCHOR_SHARED,
+        STAT_PATH_ODD_EDGE,
+        STAT_PATH_ODD_NO_EDGE,
+        STAT_PATH_EVEN_EDGE,
+        STAT_PATH_EVEN_NO_EDGE,
+    }
+)
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,16 @@ from typing import Dict, List, Tuple
 
 from ..graphs.static_graph import Graph
 
-__all__ = ["DecisionLog", "ReplayOutcome", "INCLUDE", "EXCLUDE", "PEEL", "PATH", "FOLD"]
+__all__ = [
+    "DecisionLog",
+    "ReplayOutcome",
+    "extend_to_maximal",
+    "INCLUDE",
+    "EXCLUDE",
+    "PEEL",
+    "PATH",
+    "FOLD",
+]
 
 #: Entry kinds, public so the specialized flat-buffer drivers can append
 #: entries directly (one tuple per decision) instead of paying a method
@@ -66,6 +75,25 @@ class ReplayOutcome:
     def is_exact(self) -> bool:
         """Whether the solution is certified maximum (``R`` empty)."""
         return self.surviving_peels == 0
+
+
+def extend_to_maximal(in_set: List[bool], graph: Graph) -> None:
+    """Extend ``in_set`` to a maximal independent set, in place.
+
+    Greedy id-order pass over the flat CSR buffers (Algorithm 1 Line 6):
+    per-vertex neighbourhood-tuple materialisation would dominate replay on
+    large graphs.  This is also where peeled vertices get their chance to
+    re-enter the solution and stop counting against the Theorem-6.1 bound.
+    """
+    offsets, targets = graph.flat_csr()
+    for v in range(graph.n):
+        if in_set[v]:
+            continue
+        for i in range(offsets[v], offsets[v + 1]):
+            if in_set[targets[i]]:
+                break
+        else:
+            in_set[v] = True
 
 
 class DecisionLog:
@@ -176,18 +204,13 @@ class DecisionLog:
     # ------------------------------------------------------------------
     # Replay
     # ------------------------------------------------------------------
-    def replay(self, graph: Graph, extend_maximal: bool = True) -> ReplayOutcome:
-        """Reconstruct the independent set on the *original* graph.
+    def resolve(self, n: int) -> Tuple[List[bool], List[int]]:
+        """Steps 1–2 of replay: commit includes, resolve deferred entries.
 
-        Processing order (mirrors the paper):
-
-        1. commit all ``include`` decisions;
-        2. walk the log backwards resolving path entries and fold records
-           (Algorithm 4 Line 7 / Algorithm 3 Line 6);
-        3. optionally extend to a maximal independent set, which also gives
-           peeled vertices their chance to re-enter (Algorithm 1 Line 6).
+        Returns ``(in_set, peeled_vertices)`` *before* maximal extension —
+        the telemetry-traced drivers run this and
+        :func:`extend_to_maximal` under separate phase spans.
         """
-        n = graph.n
         in_set = [False] * n
         peeled_vertices: List[int] = []
         for kind, data in self._entries:
@@ -206,17 +229,21 @@ class DecisionLog:
                     in_set[v] = True
                 else:
                     in_set[u] = True
+        return in_set, peeled_vertices
+
+    def replay(self, graph: Graph, extend_maximal: bool = True) -> ReplayOutcome:
+        """Reconstruct the independent set on the *original* graph.
+
+        Processing order (mirrors the paper):
+
+        1. commit all ``include`` decisions;
+        2. walk the log backwards resolving path entries and fold records
+           (Algorithm 4 Line 7 / Algorithm 3 Line 6);
+        3. optionally extend to a maximal independent set, which also gives
+           peeled vertices their chance to re-enter (Algorithm 1 Line 6).
+        """
+        in_set, peeled_vertices = self.resolve(graph.n)
         if extend_maximal:
-            # Scan over the flat CSR buffers: per-vertex neighbourhood-tuple
-            # materialisation would dominate replay on large graphs.
-            offsets, targets = graph.flat_csr()
-            for v in range(n):
-                if in_set[v]:
-                    continue
-                for i in range(offsets[v], offsets[v + 1]):
-                    if in_set[targets[i]]:
-                        break
-                else:
-                    in_set[v] = True
+            extend_to_maximal(in_set, graph)
         surviving = sum(1 for v in peeled_vertices if not in_set[v])
         return ReplayOutcome(in_set, len(peeled_vertices), surviving)

@@ -21,10 +21,12 @@ improvement through a :class:`~repro.localsearch.events.ConvergenceRecorder`.
 from __future__ import annotations
 
 import random
+import time
 from typing import Iterable, List, Optional, Set, Tuple
 
 from ..errors import NotASolutionError
 from ..graphs.static_graph import Graph
+from ..obs.telemetry import get_telemetry, phase
 from .events import ConvergenceRecorder
 from .flat_state import FlatLocalSearchState
 
@@ -180,10 +182,17 @@ def arw(
         rng = random.Random(seed)
     if state_factory is None:
         state_factory = FlatLocalSearchState
+    telemetry = get_telemetry()  # one global check per run
+    # Iterations are far too frequent for per-iteration spans; the loop
+    # feeds aggregate (count, total) timers instead, and only the initial
+    # exhaustive scan gets a span of its own.
+    timer = None if telemetry is None else telemetry.timer
     state = state_factory(graph, initial)
     if recorder is None:
         recorder = ConvergenceRecorder()
-    state.local_search()
+    with phase(telemetry, "swap-scan", algorithm="ARW", graph=graph.name) as span:
+        state.local_search()
+        span.meta["initial_size"] = state.size
     best = state.solution()
     recorder.record(len(best))
     iteration = 0
@@ -191,6 +200,8 @@ def arw(
         iteration += 1
         if max_iterations is not None and iteration > max_iterations:
             break
+        if timer is not None:
+            tick = time.perf_counter()
         # Perturb: force in the f outside vertices least recently inside.
         strength = _perturbation_strength(rng)
         outside = [v for v in range(graph.n) if not state.in_solution[v]]
@@ -199,7 +210,13 @@ def arw(
         outside.sort(key=lambda v: (state._last_outside[v], rng.random()))
         for v in outside[:strength]:
             state.force_insert(v, clock=iteration)
+        if timer is not None:
+            now = time.perf_counter()
+            timer("perturb", now - tick)
+            tick = now
         state.local_search()
+        if timer is not None:
+            timer("swap-scan", time.perf_counter() - tick)
         if state.size > len(best):
             best = state.solution()
             recorder.record(len(best))

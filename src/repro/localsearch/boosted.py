@@ -19,6 +19,7 @@ from ..core.kernel import KernelResult, kernelize
 from ..core.linear_time import linear_time
 from ..core.near_linear import near_linear
 from ..graphs.static_graph import Graph
+from ..obs.telemetry import get_telemetry, phase
 from .arw import arw
 from .events import ConvergenceRecorder
 from .flat_state import FlatLocalSearchState
@@ -87,20 +88,31 @@ def boosted_arw(
     ``rng`` are forwarded to :func:`~repro.localsearch.arw.arw` (flat
     search state and ``random.Random(seed)`` by default).
     """
+    telemetry = get_telemetry()  # one global check per run
     recorder = ConvergenceRecorder()
-    kernel_result = kernelize(graph, method=method)
+    # The kernelize/solve spans below nest the reduce/lp-kernel/replay
+    # spans that linear_time_reduce / near_linear emit themselves.
+    with phase(
+        telemetry, "kernelize", algorithm="BoostedARW",
+        graph=graph.name, method=method,
+    ) as span:
+        kernel_result = kernelize(graph, method=method)
+        if not kernel_result.is_solved:
+            span.meta["kernel_vertices"] = kernel_result.kernel.n
     full = linear_time(graph) if method == "linear_time" else near_linear(graph)
     if kernel_result.is_solved:
         recorder.record(full.size)
         return BoostedResult(full.independent_set, recorder, kernel_result)
-    seed_solution = _induce_on_kernel(
-        kernel_result.kernel,
-        kernel_result.old_ids,
-        full.independent_set,
-        state_factory=state_factory,
-    )
+    with phase(telemetry, "seed-induce", algorithm="BoostedARW", graph=graph.name):
+        seed_solution = _induce_on_kernel(
+            kernel_result.kernel,
+            kernel_result.old_ids,
+            full.independent_set,
+            state_factory=state_factory,
+        )
 
-    lifted_best = kernel_result.lift(seed_solution)
+    with phase(telemetry, "lift", algorithm="BoostedARW", graph=graph.name):
+        lifted_best = kernel_result.lift(seed_solution)
     best = frozenset(lifted_best)
     recorder.record(len(best))
 
@@ -116,7 +128,8 @@ def boosted_arw(
         state_factory=state_factory,
         rng=rng,
     )
-    lifted = kernel_result.lift(kernel_best)
+    with phase(telemetry, "lift", algorithm="BoostedARW", graph=graph.name):
+        lifted = kernel_result.lift(kernel_best)
     if len(lifted) > len(best):
         best = frozenset(lifted)
     # Translate kernel improvement events into lifted sizes, on the outer
@@ -125,7 +138,7 @@ def boosted_arw(
     lift_offset = len(best) - len(kernel_best)
     for t, size in kernel_recorder.events:
         if size > baseline:
-            recorder.events.append((kernel_clock_offset + t, size + lift_offset))
+            recorder.record(size + lift_offset, elapsed=kernel_clock_offset + t)
     return BoostedResult(best, recorder, kernel_result)
 
 

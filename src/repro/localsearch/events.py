@@ -32,10 +32,17 @@ class ConvergenceRecorder:
         """Seconds since the recorder (re)started."""
         return time.perf_counter() - self._start
 
-    def record(self, size: int) -> None:
-        """Record a new solution size if it improves on the last event."""
+    def record(self, size: int, elapsed: Optional[float] = None) -> None:
+        """Record a new solution size if it improves on the last event.
+
+        ``elapsed`` overrides the recorder's own clock reading — used when
+        replaying events captured against a different clock (e.g. merging
+        a kernel-ARW recorder onto the outer run's timeline).
+        """
         if not self.events or size > self.events[-1][1]:
-            self.events.append((self.elapsed, size))
+            self.events.append(
+                (self.elapsed if elapsed is None else elapsed, size)
+            )
 
     @property
     def best_size(self) -> int:

@@ -1,0 +1,67 @@
+"""Observability subsystem: phase spans, peeling profiles, trace merging.
+
+Built for near-zero overhead when off: algorithms ask
+:func:`get_telemetry` once per run and take their normal (flat) hot paths
+when it returns ``None``.  When a sink is active they emit *phase-level*
+spans (setup / reduce / replay / extend / swap-scan …) with rule-counter
+snapshots at the boundaries, record sampled peeling profiles through the
+``workspace_factory`` hook seam, and the parallel per-component driver
+merges per-worker trace files into one attributed run report.
+
+Entry points::
+
+    from repro.obs import telemetry_session, write_trace, render_report
+
+    with telemetry_session("my-run") as tele:
+        result = linear_time(graph)
+    write_trace("trace.jsonl", tele.to_records())
+    print(render_report(tele.to_records()))
+
+or from the shell::
+
+    python -m repro solve graph.metis --algorithm LinearTime \\
+        --telemetry trace.jsonl
+    python -m repro obs report trace.jsonl
+"""
+
+from .instrument import (
+    PROFILE_TARGET_SAMPLES,
+    finish_profile,
+    instrumented_factory,
+    traced_replay,
+)
+from .memory import MemoryProbe, probe_record
+from .report import profile_is_monotone, render_report, summarize
+from .telemetry import (
+    Span,
+    Telemetry,
+    disable,
+    enable,
+    get_telemetry,
+    phase,
+    telemetry_session,
+)
+from .trace_io import collect_worker_traces, load_trace, merge_traces, write_trace
+
+__all__ = [
+    "PROFILE_TARGET_SAMPLES",
+    "MemoryProbe",
+    "Span",
+    "Telemetry",
+    "collect_worker_traces",
+    "disable",
+    "enable",
+    "finish_profile",
+    "get_telemetry",
+    "instrumented_factory",
+    "load_trace",
+    "merge_traces",
+    "phase",
+    "probe_record",
+    "profile_is_monotone",
+    "render_report",
+    "summarize",
+    "telemetry_session",
+    "traced_replay",
+    "write_trace",
+]

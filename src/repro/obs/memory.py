@@ -1,0 +1,89 @@
+"""Optional tracemalloc probe: peak bytes vs. the paper's Table-1 budgets.
+
+Table 1 prices each algorithm's edge storage in machine words — 2m for
+BDOne/LinearTime, 4m for NearLinear, 6m for BDTwo.  The structural model
+lives in :func:`repro.analysis.memory.model_words`; this module measures the
+*interpreter's* actual peak heap around a run (via ``tracemalloc``) and
+reports both numbers side by side, so a trace can say "peak 6.1 MB against
+a 2m + O(n) = 3.9 MB-word envelope".
+
+The probe is strictly opt-in: ``tracemalloc`` slows allocation-heavy code
+by an integer factor, so nothing in the library starts it implicitly —
+drivers never touch this module; the CLI and the bench harness wrap whole
+runs in it when asked.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Dict, Optional
+
+from .telemetry import Telemetry
+
+__all__ = ["MemoryProbe", "probe_record"]
+
+_WORD_BYTES = 4  # the paper's word = one 32-bit integer (CSR entries)
+
+
+class MemoryProbe:
+    """Context manager measuring peak traced heap bytes over its block.
+
+    Nesting-safe: if tracemalloc is already tracing, the probe reads the
+    peak without stopping the outer trace (it resets the peak counter on
+    entry so the reading covers this block only).
+    """
+
+    __slots__ = ("peak_bytes", "_started_here")
+
+    def __init__(self) -> None:
+        self.peak_bytes = 0
+        self._started_here = False
+
+    def __enter__(self) -> "MemoryProbe":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_here = True
+        else:
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _, self.peak_bytes = tracemalloc.get_traced_memory()
+        if self._started_here:
+            tracemalloc.stop()
+        return False
+
+
+def probe_record(
+    probe: MemoryProbe,
+    algorithm: str,
+    graph,
+    telemetry: Optional[Telemetry] = None,
+) -> Dict[str, object]:
+    """Build (and optionally record) the ``memory`` trace record.
+
+    Pairs the measured peak with the Table-1 structural budget when the
+    algorithm has one; algorithms outside the table (baselines, ARW
+    variants) report the peak alone.
+    """
+    record: Dict[str, object] = {
+        "type": "memory",
+        "algorithm": algorithm,
+        "graph": graph.name,
+        "n": graph.n,
+        "m": graph.m,
+        "peak_bytes": probe.peak_bytes,
+    }
+    try:
+        from ..analysis.memory import model_words
+
+        words = model_words(algorithm, graph)
+        record["budget_words"] = words
+        record["budget_bytes"] = words * _WORD_BYTES
+        if words:
+            record["peak_over_budget"] = probe.peak_bytes / (words * _WORD_BYTES)
+    except Exception:
+        pass  # no Table-1 row for this algorithm
+    if telemetry is not None:
+        telemetry.record(record)
+    return record

@@ -26,6 +26,12 @@ regressed by more than ``--max-regression`` (a ratio; 2.0 means "twice as
 slow") on any graph present in both reports.  Only graphs in the
 intersection are compared, so a ``--quick`` run gates cleanly against a
 full-suite baseline.
+
+``--telemetry`` adds a phase-span trace (``--telemetry-out``, JSON lines)
+and a ``telemetry`` section to the report.  The trace comes from a
+*separate untimed pass* after the timed suite — instrumented runs take the
+generic method-call loop, so the gated flat wall times are never measured
+through instrumentation.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -48,10 +54,19 @@ from ..graphs.static_graph import Graph
 from ..localsearch.arw import LocalSearchState
 from ..localsearch.boosted import arw_lt
 from ..localsearch.flat_state import FlatLocalSearchState
+from ..obs.report import render_report, summarize
+from ..obs.telemetry import telemetry_session
+from ..obs.trace_io import write_trace
 
-__all__ = ["build_suite", "run_suite", "compare_reports", "main"]
+__all__ = [
+    "build_suite",
+    "run_suite",
+    "run_telemetry_pass",
+    "compare_reports",
+    "main",
+]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The tracks the CI gate watches: record key in ``timings[graph]`` plus
 #: the wall-time field inside it.  LinearTime is the paper's headline
@@ -264,6 +279,29 @@ def run_suite(suite: str, repeats: int) -> Dict[str, object]:
     return report
 
 
+def run_telemetry_pass(suite: str) -> Tuple[List[Dict[str, object]], Dict[str, object]]:
+    """One telemetered solve per (graph, gated algorithm); returns records + summary.
+
+    Kept separate from :func:`run_suite` on purpose: an active telemetry
+    sink routes the drivers through the instrumented (generic) loops, so
+    the gated flat wall times must be measured with telemetry *off* and the
+    traces collected in an extra pass afterwards.
+    """
+    with telemetry_session(label=f"bench-{suite}") as telemetry:
+        for _gname, graph, deep in build_suite(suite):
+            linear_time(graph)
+            near_linear(graph)
+            if deep:
+                arw_lt(
+                    graph,
+                    time_budget=3600.0,
+                    max_iterations=_ARW_ITERATIONS,
+                    rng=random.Random(0),
+                )
+    records = telemetry.to_records()
+    return records, summarize(records)
+
+
 def compare_reports(
     baseline: Dict[str, object],
     current: Dict[str, object],
@@ -328,10 +366,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail when the gated wall time exceeds baseline by this ratio",
     )
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect a phase-span trace in an extra (untimed) pass",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        default="bench_telemetry.jsonl",
+        metavar="TRACE",
+        help="JSON-lines trace path for --telemetry",
+    )
     args = parser.parse_args(argv)
 
     suite = "smoke" if args.smoke else "quick" if args.quick else args.suite
     report = run_suite(suite, max(1, args.repeats))
+    if args.telemetry:
+        records, summary = run_telemetry_pass(suite)
+        write_trace(args.telemetry_out, records)
+        report["telemetry"] = {
+            "trace": args.telemetry_out,
+            "phases": summary["phases"],
+            "span_total": summary["span_total"],
+            "counters": summary["counters"],
+            "timers": summary["timers"],
+            "profiles": [
+                {
+                    "algorithm": profile.get("algorithm"),
+                    "graph": profile.get("graph"),
+                    "samples": len(profile.get("samples") or []),
+                }
+                for profile in summary["profiles"]
+            ],
+        }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -345,6 +412,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             line.append(part)
         print("  ".join(line))
     print(f"report written to {args.out}")
+    if args.telemetry:
+        print(render_report(records, title=f"telemetry ({args.telemetry_out}):"))
 
     if args.compare:
         with open(args.compare) as handle:

@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from array import array
 from typing import Callable, List, Optional, Tuple, Union
@@ -34,6 +36,8 @@ from ..core.near_linear import near_linear
 from ..core.result import MISResult
 from ..graphs.properties import connected_components
 from ..graphs.static_graph import Graph
+from ..obs.telemetry import disable, enable, get_telemetry
+from ..obs.trace_io import collect_worker_traces, write_trace
 
 __all__ = [
     "ALGORITHM_BY_NAME",
@@ -71,7 +75,14 @@ def _resolve_algorithm(
 
 
 def _solve_flat(
-    payload: Tuple[bytes, bytes, str, Union[str, Callable[[Graph], MISResult]]],
+    payload: Tuple[
+        bytes,
+        bytes,
+        str,
+        Union[str, Callable[[Graph], MISResult]],
+        int,
+        Optional[str],
+    ],
 ) -> MISResult:
     """Worker: rebuild a component graph from flat buffers and solve it.
 
@@ -79,13 +90,28 @@ def _solve_flat(
     it by reference.  The algorithm arrives either as a registry name
     (resolved here, in the worker) or as a module-level callable (every
     public algorithm in :mod:`repro.core` is picklable by reference).
+
+    ``trace_path`` is ``None`` unless the parent had telemetry enabled; a
+    worker cannot share the parent's sink (different process, different
+    clock), so it runs its own and flushes it to the given JSON-lines file,
+    stamped with the component id, for the parent to collect and adopt.
     """
-    offsets_bytes, targets_bytes, name, algorithm = payload
+    offsets_bytes, targets_bytes, name, algorithm, component, trace_path = payload
     offsets = array("q")
     offsets.frombytes(offsets_bytes)
     targets = array("i")
     targets.frombytes(targets_bytes)
-    return _resolve_algorithm(algorithm)(Graph(offsets, targets, name=name))
+    graph = Graph(offsets, targets, name=name)
+    if trace_path is None:
+        return _resolve_algorithm(algorithm)(graph)
+    sink = enable(
+        label=f"worker-component-{component}", context={"component": component}
+    )
+    try:
+        return _resolve_algorithm(algorithm)(graph)
+    finally:
+        disable()
+        write_trace(trace_path, sink.to_records(), stamp={"component": component})
 
 
 def solve_by_components_parallel(
@@ -122,38 +148,76 @@ def solve_by_components_parallel(
     ``/components-parallel`` algorithm suffix and the wall time.
     """
     start = time.perf_counter()
+    telemetry = get_telemetry()  # one global check per run
     solver = _resolve_algorithm(algorithm)
     components = connected_components(graph)
-    inline: List[Tuple[List[int], Graph]] = []
-    pooled: List[Tuple[List[int], Graph]] = []
-    for component in components:
+    inline: List[Tuple[int, List[int], Graph]] = []
+    pooled: List[Tuple[int, List[int], Graph]] = []
+    for index, component in enumerate(components):
         subgraph, old_ids = graph.subgraph(component)
         if len(component) >= min_component_size:
-            pooled.append((old_ids, subgraph))
+            pooled.append((index, old_ids, subgraph))
         else:
-            inline.append((old_ids, subgraph))
+            inline.append((index, old_ids, subgraph))
+
+    def _solve_inline(index: int, subgraph: Graph) -> MISResult:
+        # Context stamping gives in-parent solves the same per-component
+        # attribution the worker traces get from their file stamp.
+        if telemetry is None:
+            return solver(subgraph)
+        with telemetry.scoped(component=index):
+            return solver(subgraph)
 
     solved: List[Tuple[List[int], MISResult]] = [
-        (old_ids, solver(subgraph)) for old_ids, subgraph in inline
+        (old_ids, _solve_inline(index, subgraph))
+        for index, old_ids, subgraph in inline
     ]
     if pooled:
         if processes is None:
             processes = os.cpu_count() or 1
         workers = max(1, min(processes, len(pooled)))
         if workers == 1:
-            solved.extend((old_ids, solver(subgraph)) for old_ids, subgraph in pooled)
+            solved.extend(
+                (old_ids, _solve_inline(index, subgraph))
+                for index, old_ids, subgraph in pooled
+            )
         else:
+            trace_dir: Optional[str] = None
+            trace_paths: List[str] = []
+            if telemetry is not None:
+                trace_dir = tempfile.mkdtemp(prefix="repro-obs-")
             payloads = []
-            for _, subgraph in pooled:
+            for index, _, subgraph in pooled:
                 offsets, targets = subgraph.flat_csr()
+                trace_path = (
+                    os.path.join(trace_dir, f"component-{index}.jsonl")
+                    if trace_dir is not None
+                    else None
+                )
+                if trace_path is not None:
+                    trace_paths.append(trace_path)
                 payloads.append(
-                    (offsets.tobytes(), targets.tobytes(), subgraph.name, algorithm)
+                    (
+                        offsets.tobytes(),
+                        targets.tobytes(),
+                        subgraph.name,
+                        algorithm,
+                        index,
+                        trace_path,
+                    )
                 )
             ctx = multiprocessing.get_context(start_method)
-            with ctx.Pool(workers) as pool:
-                results = pool.map(_solve_flat, payloads)
+            try:
+                with ctx.Pool(workers) as pool:
+                    results = pool.map(_solve_flat, payloads)
+                if telemetry is not None:
+                    telemetry.adopt(collect_worker_traces(trace_paths))
+            finally:
+                if trace_dir is not None:
+                    shutil.rmtree(trace_dir, ignore_errors=True)
             solved.extend(
-                (old_ids, result) for (old_ids, _), result in zip(pooled, results)
+                (old_ids, result)
+                for (_, old_ids, _), result in zip(pooled, results)
             )
 
     vertices: List[int] = []

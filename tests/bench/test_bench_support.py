@@ -6,6 +6,7 @@ from repro.bench import (
     ALL_DATASETS,
     EASY_DATASETS,
     HARD_DATASETS,
+    RunRecord,
     dataset_names,
     format_number,
     format_seconds,
@@ -87,3 +88,32 @@ class TestRunner:
         assert [r.algorithm for r in records] == ["BDOne", "LinearTime"]
         assert all(r.size > 0 for r in records)
         assert all(r.model_memory_words > 0 for r in records)
+
+
+class TestRunRecordClocks:
+    """``solver_elapsed`` is derived from the result; the harness clock
+    wraps it, so ``0 <= solver_elapsed <= elapsed`` is an invariant."""
+
+    def test_from_result_derives_solver_elapsed(self):
+        g = load("GrQc-sim")
+        result, elapsed = time_call(lambda: bdone(g))
+        record = RunRecord.from_result("BDOne", result, elapsed)
+        assert record.solver_elapsed == result.elapsed
+        assert record.graph_name == result.graph_name
+        assert record.size == result.size
+
+    def test_clock_invariant_holds(self):
+        g = load("GrQc-sim")
+        for record in run_algorithms(g, [("BDOne", bdone), ("LinearTime", linear_time)]):
+            assert 0.0 <= record.solver_elapsed <= record.elapsed
+            assert record.overhead >= 0.0
+            assert record.overhead == record.elapsed - record.solver_elapsed
+
+    def test_jittered_harness_clock_is_clamped_up(self):
+        g = load("GrQc-sim")
+        result = bdone(g)
+        # A harness reading *below* the solver's own clock (sub-µs timer
+        # jitter) must not produce a negative overhead.
+        record = RunRecord.from_result("BDOne", result, result.elapsed / 2)
+        assert record.elapsed == result.elapsed
+        assert record.overhead == 0.0

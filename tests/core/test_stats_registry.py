@@ -1,0 +1,70 @@
+"""The shared stat-key registry and flat-vs-legacy counter agreement.
+
+Every rule counter any backend bumps must come from the registry in
+:mod:`repro.core.result`; the differential half asserts that the flat and
+the oracle backends produce the *identical* stats dict, so a renamed or
+missing counter key shows up as a test failure, not as a silently empty
+column in a report.
+"""
+
+import pytest
+
+from repro.core.bdone import bdone
+from repro.core.bdtwo import bdtwo
+from repro.core.dominance import TriangleWorkspace
+from repro.core.linear_time import linear_time
+from repro.core.near_linear import near_linear
+from repro.core.result import (
+    KNOWN_STAT_KEYS,
+    STAT_DEGREE_ONE,
+    STAT_PEEL,
+)
+from repro.core.workspace import ArrayWorkspace
+from repro.graphs.generators import gnm_random_graph, power_law_graph, web_like_graph
+
+GRAPHS = [
+    power_law_graph(600, beta=2.2, average_degree=6.0, seed=31),
+    gnm_random_graph(500, 1500, seed=32),
+    web_like_graph(400, attach=3, seed=33),
+]
+
+
+class TestRegistry:
+    def test_registry_covers_every_emitted_key(self):
+        for graph in GRAPHS:
+            for result in (
+                bdone(graph),
+                bdtwo(graph),
+                linear_time(graph),
+                near_linear(graph),
+            ):
+                unknown = set(result.stats) - KNOWN_STAT_KEYS
+                assert not unknown, f"{result.algorithm}: {unknown}"
+
+    def test_core_constants_are_the_literal_keys(self):
+        # The flat loops batch-commit counters under these exact strings;
+        # the constants exist so no second spelling can drift in.
+        assert STAT_DEGREE_ONE == "degree-one"
+        assert STAT_PEEL == "peel"
+        assert STAT_DEGREE_ONE in KNOWN_STAT_KEYS
+        assert STAT_PEEL in KNOWN_STAT_KEYS
+
+
+class TestFlatVsLegacyStats:
+    @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+    def test_bdone_stats_identical(self, graph):
+        flat = bdone(graph)
+        oracle = bdone(graph, workspace_factory=ArrayWorkspace)
+        assert flat.stats == oracle.stats
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+    def test_linear_time_stats_identical(self, graph):
+        flat = linear_time(graph)
+        oracle = linear_time(graph, workspace_factory=ArrayWorkspace)
+        assert flat.stats == oracle.stats
+
+    @pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+    def test_near_linear_stats_identical(self, graph):
+        flat = near_linear(graph)
+        oracle = near_linear(graph, workspace_factory=TriangleWorkspace)
+        assert flat.stats == oracle.stats

@@ -1,6 +1,6 @@
 """Tests for the decision log and solution reconstruction."""
 
-from repro.core.trace import DecisionLog
+from repro.core.trace import DecisionLog, extend_to_maximal
 from repro.graphs import Graph, path_graph, cycle_graph
 
 
@@ -144,3 +144,82 @@ class TestLogUtilities:
         log.peel(2)
         log.include(3)
         assert log.peel_count == 2
+
+
+class TestResolveExtendSplit:
+    def test_resolve_matches_unextended_replay(self):
+        g = path_graph(6)
+        log = DecisionLog()
+        log.include(0)
+        log.peel(3)
+        log.push_path(1, 0, 2)
+        in_set, peeled = log.resolve(g.n)
+        outcome = log.replay(g, extend_maximal=False)
+        assert in_set == outcome.in_set
+        assert peeled == [3]
+
+    def test_extend_to_maximal_is_first_fit(self):
+        g = path_graph(5)
+        in_set = [False] * 5
+        extend_to_maximal(in_set, g)
+        assert [v for v in range(5) if in_set[v]] == [0, 2, 4]
+
+    def test_extend_to_maximal_respects_existing_vertices(self):
+        g = path_graph(5)
+        in_set = [False, True, False, False, False]
+        extend_to_maximal(in_set, g)
+        assert [v for v in range(5) if in_set[v]] == [1, 3]
+
+
+class TestFoldAfterPath:
+    def test_later_fold_decides_earlier_path_entry(self):
+        # Chronological order: PATH then FOLD.  The backward pass resolves
+        # the fold FIRST (supervertex 4 out -> u=2 joins), and only then the
+        # path entry, which must see blocker 2 inside and keep 1 out.
+        g = path_graph(5)
+        log = DecisionLog()
+        log.push_path(1, 0, 2)
+        log.fold(2, 3, 4)
+        outcome = log.replay(g, extend_maximal=False)
+        assert 2 in outcome.vertices
+        assert 1 not in outcome.vertices
+
+    def test_fold_supervertex_in_routes_v_and_frees_the_path(self):
+        # With 4 included, the fold takes v=3 instead of u=2; both of the
+        # path entry's blockers stay out, so 1 re-enters on replay.
+        g = path_graph(5)
+        log = DecisionLog()
+        log.include(4)
+        log.push_path(1, 0, 2)
+        log.fold(2, 3, 4)
+        outcome = log.replay(g, extend_maximal=False)
+        assert 3 in outcome.vertices
+        assert 2 not in outcome.vertices
+        assert 1 in outcome.vertices
+
+
+class TestEmptyLog:
+    def test_empty_log_unextended_replay_is_empty(self):
+        g = cycle_graph(4)
+        outcome = DecisionLog().replay(g, extend_maximal=False)
+        assert outcome.vertices == frozenset()
+        assert outcome.peeled == 0
+        assert outcome.surviving_peels == 0
+        assert outcome.is_exact
+        assert outcome.upper_bound == 0
+
+    def test_empty_log_extended_replay_is_greedy_maximal(self):
+        g = cycle_graph(5)
+        outcome = DecisionLog().replay(g)
+        assert outcome.vertices == {0, 2}
+
+    def test_empty_log_on_empty_graph(self):
+        g = Graph.empty(0)
+        outcome = DecisionLog().replay(g)
+        assert outcome.vertices == frozenset()
+        assert outcome.upper_bound == 0
+
+    def test_empty_log_resolve(self):
+        in_set, peeled = DecisionLog().resolve(3)
+        assert in_set == [False, False, False]
+        assert peeled == []

@@ -1,0 +1,88 @@
+"""Unit tests for the convergence recorder (Eval-IV bookkeeping)."""
+
+import time
+
+from repro.localsearch.events import ConvergenceRecorder
+
+
+class TestRecord:
+    def test_records_only_improvements(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(5)
+        recorder.record(5)  # not an improvement
+        recorder.record(4)  # regression: ignored
+        recorder.record(7)
+        assert [size for _, size in recorder.events] == [5, 7]
+
+    def test_explicit_elapsed_overrides_the_clock(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(5, elapsed=1.5)
+        recorder.record(9, elapsed=3.25)
+        assert recorder.events == [(1.5, 5), (3.25, 9)]
+
+    def test_explicit_elapsed_still_requires_improvement(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(5, elapsed=1.0)
+        recorder.record(5, elapsed=2.0)
+        assert recorder.events == [(1.0, 5)]
+
+    def test_default_clock_timestamps_are_monotone(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(1)
+        time.sleep(0.01)
+        recorder.record(2)
+        (t1, _), (t2, _) = recorder.events
+        assert 0.0 <= t1 <= t2
+
+
+class TestRestart:
+    def test_restart_clears_events_and_resets_clock(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(5)
+        time.sleep(0.01)
+        before = recorder.elapsed
+        recorder.restart()
+        assert recorder.events == []
+        assert recorder.best_size == 0
+        assert recorder.first_event is None
+        assert recorder.elapsed < before
+
+    def test_recording_resumes_after_restart(self):
+        recorder = ConvergenceRecorder()
+        recorder.record(9)
+        recorder.restart()
+        recorder.record(3)  # smaller than the pre-restart best: fresh slate
+        assert [size for _, size in recorder.events] == [3]
+
+
+class TestQueries:
+    def _seeded(self):
+        recorder = ConvergenceRecorder()
+        recorder.events = [(0.1, 5), (0.5, 8), (2.0, 9)]
+        return recorder
+
+    def test_size_at_budget_boundaries(self):
+        recorder = self._seeded()
+        assert recorder.size_at(0.05) == 0
+        assert recorder.size_at(0.1) == 5
+        assert recorder.size_at(1.0) == 8
+        assert recorder.size_at(10.0) == 9
+
+    def test_time_to_reach(self):
+        recorder = self._seeded()
+        assert recorder.time_to_reach(1) == 0.1
+        assert recorder.time_to_reach(8) == 0.5
+        assert recorder.time_to_reach(9) == 2.0
+        assert recorder.time_to_reach(10) is None
+
+    def test_best_size_and_first_event(self):
+        recorder = self._seeded()
+        assert recorder.best_size == 9
+        assert recorder.first_event == (0.1, 5)
+
+    def test_empty_recorder_queries(self):
+        recorder = ConvergenceRecorder()
+        assert recorder.best_size == 0
+        assert recorder.first_event is None
+        assert recorder.size_at(1.0) == 0
+        assert recorder.time_to_reach(1) is None

@@ -1,0 +1,107 @@
+"""Instrumented runs: profiles, span accounting, and result invariance."""
+
+import pytest
+
+from repro.core.bdone import bdone
+from repro.core.bdtwo import bdtwo
+from repro.core.linear_time import linear_time
+from repro.core.near_linear import near_linear
+from repro.graphs.generators import power_law_graph
+from repro.obs.report import profile_is_monotone, summarize
+from repro.obs.telemetry import disable, telemetry_session
+
+ALGORITHMS = [bdone, bdtwo, linear_time, near_linear]
+PROFILED = [bdone, linear_time, near_linear]  # BDTwo has no live counters
+
+
+@pytest.fixture(autouse=True)
+def _clean_flag():
+    disable()
+    yield
+    disable()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(1_500, beta=2.2, average_degree=6.0, seed=11)
+
+
+class TestResultInvariance:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_telemetry_never_changes_the_result(self, graph, algorithm):
+        plain = algorithm(graph)
+        with telemetry_session():
+            traced = algorithm(graph)
+        assert traced.independent_set == plain.independent_set
+        assert traced.upper_bound == plain.upper_bound
+        assert traced.stats == plain.stats
+
+
+class TestPhaseSpans:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_run_emits_the_phase_spans(self, graph, algorithm):
+        with telemetry_session() as tele:
+            algorithm(graph)
+        names = {span.name for span in tele.spans}
+        assert {"setup", "reduce", "replay", "extend"} <= names
+
+    def test_reduce_span_snapshots_rule_counters(self, graph):
+        with telemetry_session() as tele:
+            result = linear_time(graph)
+        reduce_span = next(s for s in tele.spans if s.name == "reduce")
+        assert reduce_span.meta["counters"] == result.stats
+
+    def test_span_total_close_to_result_elapsed(self, graph):
+        with telemetry_session() as tele:
+            result = linear_time(graph)
+        total = tele.span_total(depth=0)
+        # The spans cover everything but dispatch and result
+        # materialisation; generous bound here, the bench harness checks
+        # the 10% acceptance figure on plr-50k.
+        assert total <= result.elapsed
+        assert total >= 0.5 * result.elapsed
+
+    def test_counters_match_result_stats(self, graph):
+        with telemetry_session() as tele:
+            result = near_linear(graph)
+        assert tele.counters == result.stats
+
+
+class TestPeelingProfiles:
+    @pytest.mark.parametrize("algorithm", PROFILED)
+    def test_profile_shape_and_monotonicity(self, graph, algorithm):
+        with telemetry_session() as tele:
+            algorithm(graph)
+        assert len(tele.profiles) == 1
+        profile = tele.profiles[0]
+        samples = profile["samples"]
+        assert len(samples) >= 2  # the t=0 point and the final sample
+        assert profile_is_monotone(profile)
+        # Final sample: the graph is fully consumed.
+        events, live, live_edges, bound = samples[-1]
+        assert live == 0 and live_edges == 0
+        # The final bound equals the number of includes in the log, which
+        # can only undercount the final |I| (extension adds vertices).
+        assert bound >= 0
+
+    def test_bound_column_never_increases(self, graph):
+        with telemetry_session() as tele:
+            linear_time(graph)
+        bounds = [s[3] for s in tele.profiles[0]["samples"]]
+        assert all(a >= b for a, b in zip(bounds, bounds[1:]))
+
+    def test_first_sample_covers_the_post_setup_graph(self, graph):
+        # Setup may already retire isolated vertices, so the t=0 point is
+        # bounded by — not equal to — the input sizes.
+        with telemetry_session() as tele:
+            bdone(graph)
+        _, live, live_edges, bound = tele.profiles[0]["samples"][0]
+        assert 0 < live <= graph.n
+        assert 0 < live_edges <= graph.m
+        assert bound <= graph.n
+
+    def test_summarize_reports_the_profile(self, graph):
+        with telemetry_session() as tele:
+            linear_time(graph)
+        summary = summarize(tele.to_records())
+        assert len(summary["profiles"]) == 1

@@ -177,3 +177,42 @@ def test_compare_disjoint_suites_reports_no_overlap():
         max_regression=2.0,
     )
     assert failures and "no graphs in common" in failures[0]
+
+
+def test_telemetry_flag_adds_trace_and_report_section(tmp_path, capsys):
+    from repro.obs.telemetry import get_telemetry
+    from repro.obs.trace_io import load_trace
+
+    out = tmp_path / "report.json"
+    trace = tmp_path / "trace.jsonl"
+    code = bench_regression.main(
+        [
+            "--smoke",
+            "--out",
+            str(out),
+            "--repeats",
+            "1",
+            "--telemetry",
+            "--telemetry-out",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    # The sink must not leak out of the telemetry pass.
+    assert get_telemetry() is None
+    report = json.loads(out.read_text())
+    section = report["telemetry"]
+    assert section["trace"] == str(trace)
+    assert section["span_total"] > 0
+    assert "reduce" in section["phases"]
+    assert section["counters"]
+    assert any(p["samples"] > 0 for p in section["profiles"])
+    records = load_trace(str(trace))
+    assert any(r["type"] == "span" for r in records)
+    assert "telemetry (" in capsys.readouterr().out
+
+
+def test_telemetry_off_keeps_report_schema_clean(tmp_path):
+    out = tmp_path / "report.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    assert "telemetry" not in json.loads(out.read_text())

@@ -126,3 +126,53 @@ class TestInfoAndGenerate:
     def test_solve_baseline_names(self, edge_list_file):
         for algorithm in ("SemiE", "OnlineMIS", "ReduMIS"):
             assert main(["solve", edge_list_file, "--algorithm", algorithm]) == 0
+
+
+class TestTelemetryFlags:
+    def test_solve_with_telemetry_writes_trace(self, edge_list_file, tmp_path, capsys):
+        from repro.obs import load_trace
+        from repro.obs.telemetry import get_telemetry
+
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["solve", edge_list_file, "--telemetry", trace]) == 0
+        out = capsys.readouterr().out
+        assert "independent set: size" in out
+        assert "telemetry:" in out and trace in out
+        records = load_trace(trace)
+        kinds = {r["type"] for r in records}
+        assert {"meta", "span", "counters", "profile"} <= kinds
+        assert any(
+            r["type"] == "span" and r["name"] == "reduce" for r in records
+        )
+        # The session flag must not leak past the command.
+        assert get_telemetry() is None
+
+    def test_solve_with_memory_probe(self, edge_list_file, tmp_path, capsys):
+        from repro.obs import load_trace
+
+        trace = str(tmp_path / "trace.jsonl")
+        code = main(
+            ["solve", edge_list_file, "--telemetry", trace, "--telemetry-memory"]
+        )
+        assert code == 0
+        memory = [r for r in load_trace(trace) if r["type"] == "memory"]
+        assert len(memory) == 1
+        assert memory[0]["peak_bytes"] > 0
+
+    def test_solve_without_telemetry_stays_silent(self, edge_list_file, capsys):
+        assert main(["solve", edge_list_file]) == 0
+        assert "telemetry" not in capsys.readouterr().out
+
+    def test_obs_report_renders_a_trace(self, edge_list_file, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        assert main(["solve", edge_list_file, "--telemetry", trace]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "phase spans:" in out
+        assert "reduce" in out
+        assert "rule counters:" in out
+
+    def test_obs_report_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err

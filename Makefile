@@ -1,6 +1,6 @@
 # Convenience targets for the Reducing-Peeling reproduction.
 
-.PHONY: install test bench examples quicktest clean
+.PHONY: install test bench examples quicktest lint clean
 
 install:
 	pip install -e .
@@ -10,6 +10,22 @@ test:
 
 quicktest:
 	pytest tests/ -x -q -p no:randomly -k "not hypothesis"
+
+# reprolint (the repo's own contract checker) always runs; ruff and mypy
+# run when installed and are skipped otherwise, so `make lint` works in the
+# minimal container while CI (which installs both) gets the full gate.
+lint:
+	PYTHONPATH=src python -m repro.lint src tests
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy -p repro.core -p repro.perf; \
+	else \
+		echo "mypy not installed; skipping"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

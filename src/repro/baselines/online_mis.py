@@ -16,9 +16,10 @@ extension — mirroring how OnlineMIS treats them as "unlikely" vertices.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.result import MISResult
+from ..core.result import STAT_DEGREE_ONE, STAT_DEGREE_TWO_ISOLATION
 from ..core.trace import DecisionLog
 from ..graphs.static_graph import Graph
 from ..localsearch.arw import arw
@@ -63,12 +64,12 @@ def quick_single_pass_reduce(graph: Graph) -> Tuple[Graph, List[int], DecisionLo
             log.include(v)
         elif d == 1:
             take(v)
-            log.bump("degree-one")
+            log.bump(STAT_DEGREE_ONE)
         elif d == 2:
             a, b = adjacency[v]
             if b in adjacency[a]:
                 take(v)
-                log.bump("degree-two-isolation")
+                log.bump(STAT_DEGREE_TWO_ISOLATION)
     old_ids = [v for v in range(graph.n) if alive[v]]
     new_id = {old: new for new, old in enumerate(old_ids)}
     offsets = [0]

@@ -26,6 +26,7 @@ import time
 from typing import List, Optional, Set
 
 from ..core.result import MISResult
+from ..core.result import STAT_KERNEL_SIZE, STAT_ROUNDS
 from ..exact.vcsolver import full_kernelize
 from ..graphs.static_graph import Graph
 from ..localsearch.arw import LocalSearchState, arw
@@ -69,7 +70,7 @@ def redumis(
         recorder = ConvergenceRecorder()
     kernel_result = full_kernelize(graph)
     kernel = kernel_result.kernel
-    stats = {"kernel_size": kernel.n, "rounds": 0}
+    stats = {STAT_KERNEL_SIZE: kernel.n, STAT_ROUNDS: 0}
 
     if kernel.n == 0:
         solution = kernel_result.lift(())
@@ -134,7 +135,7 @@ def redumis(
         if len(improved) > len(best):
             best = improved
             recorder.record(len(kernel_result.lift(best)))
-    stats["rounds"] = rounds
+    stats[STAT_ROUNDS] = rounds
     solution = kernel_result.lift(best)
     recorder.record(len(solution))
     return MISResult(

@@ -18,9 +18,10 @@ the linear-space heuristics in Figure 7(a).
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Set, Tuple
+from typing import List, Set
 
 from ..core.result import MISResult
+from ..core.result import STAT_ONE_K_GAIN, STAT_ROUNDS, STAT_TWO_K_GAIN
 from ..graphs.static_graph import Graph
 from ..localsearch.arw import LocalSearchState
 from .greedy import greedy
@@ -103,13 +104,13 @@ def semi_external(graph: Graph, max_rounds: int = 10) -> MISResult:
     start = time.perf_counter()
     initial = greedy(graph).independent_set
     state = LocalSearchState(graph, initial)
-    stats = {"one-k-gain": 0, "two-k-gain": 0, "rounds": 0}
+    stats = {STAT_ONE_K_GAIN: 0, STAT_TWO_K_GAIN: 0, STAT_ROUNDS: 0}
     for _ in range(max_rounds):
-        stats["rounds"] += 1
+        stats[STAT_ROUNDS] += 1
         gain = _one_k_pass(state)
-        stats["one-k-gain"] += gain
+        stats[STAT_ONE_K_GAIN] += gain
         two_gain = _two_k_pass(state)
-        stats["two-k-gain"] += two_gain
+        stats[STAT_TWO_K_GAIN] += two_gain
         # Free vertices can appear after swaps; claim them.
         for v in range(graph.n):
             if not state.in_solution[v] and state.tightness[v] == 0:

@@ -9,7 +9,7 @@ equivalent of the paper's Figure 10 / 15 plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..baselines.du import du
 from ..baselines.online_mis import online_mis

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..analysis.memory import model_words
 from ..core.result import MISResult

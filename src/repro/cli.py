@@ -178,6 +178,21 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run as lint_run
+
+    argv = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.format != "human":
+        argv.extend(["--format", args.format])
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_run(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -241,6 +256,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("trace", help="trace file written by --telemetry")
     obs_report.set_defaults(handler=_cmd_obs_report)
+
+    lint = commands.add_parser(
+        "lint", help="run reprolint, the repo's contract checker"
+    )
+    lint.add_argument("paths", nargs="*", default=["src", "tests"])
+    lint.add_argument("--strict", action="store_true")
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument("--rules", default=None, metavar="RLxxx[,RLxxx...]")
+    lint.add_argument("--list-rules", action="store_true")
+    lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

@@ -17,6 +17,7 @@ from .components import solve_by_components
 from .dominance import TriangleWorkspace
 from .flat_dominance import FlatTriangleWorkspace
 from .framework import ALGORITHMS, compute_independent_set
+from .hotpath import hot_loop
 from .kernel import KERNEL_METHODS, KernelResult, kernelize
 from .linear_time import linear_time, linear_time_reduce
 from .lp_reduction import LPReductionResult, lp_reduction, lp_upper_bound
@@ -41,6 +42,7 @@ __all__ = [
     "bdtwo",
     "certify_maximum",
     "compute_independent_set",
+    "hot_loop",
     "kernelize",
     "minimum_vertex_cover",
     "solve_by_components",

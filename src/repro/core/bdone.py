@@ -22,9 +22,10 @@ decision logs — the differential tests assert this entry-for-entry.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..graphs.static_graph import Graph
+from .hotpath import hot_loop
 from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, PEEL
 from .workspace import FlatWorkspace
@@ -34,7 +35,7 @@ from ..obs.telemetry import get_telemetry, phase
 __all__ = ["bdone"]
 
 
-def _run_generic(workspace) -> None:
+def _run_generic(workspace: Any) -> None:
     """Drive any workspace through BDOne via the public protocol."""
     log = workspace.log
     pop_degree_one = workspace.pop_degree_one
@@ -57,6 +58,7 @@ def _run_generic(workspace) -> None:
         bump(STAT_PEEL)
 
 
+@hot_loop
 def _run_flat(workspace: FlatWorkspace) -> None:
     """BDOne specialized to the flat CSR buffers.
 

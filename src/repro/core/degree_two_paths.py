@@ -89,7 +89,7 @@ class PathDiscovery:
         self.is_cycle = is_cycle
 
 
-def _walk(workspace, start: int, first: int) -> Tuple[List[int], Optional[int]]:
+def _walk(workspace: Any, start: int, first: int) -> Tuple[List[int], Optional[int]]:
     """Walk from ``start`` through ``first`` along degree-two vertices.
 
     Returns ``(interior, anchor)`` where ``anchor`` is the first vertex of
@@ -114,7 +114,7 @@ def _walk(workspace, start: int, first: int) -> Tuple[List[int], Optional[int]]:
     return interior, cur
 
 
-def find_maximal_degree_two_path(workspace, u: int) -> PathDiscovery:
+def find_maximal_degree_two_path(workspace: Any, u: int) -> PathDiscovery:
     """Discover the maximal degree-two path or cycle containing ``u``.
 
     ``u`` must be live with exactly two live neighbours.  Works on any
@@ -131,7 +131,7 @@ def find_maximal_degree_two_path(workspace, u: int) -> PathDiscovery:
     return PathDiscovery(path, left_anchor, right_anchor, False)
 
 
-def apply_degree_two_path_reduction(workspace, u: int) -> str:
+def apply_degree_two_path_reduction(workspace: Any, u: int) -> str:
     """Apply Lemma 4.1 to the maximal path/cycle through ``u``.
 
     ``workspace`` is either an :class:`~repro.core.workspace.ArrayWorkspace`

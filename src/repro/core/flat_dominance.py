@@ -32,12 +32,14 @@ from typing import List, Optional, Tuple
 
 from ..graphs.static_graph import Graph
 from .bucket_queue import MaxDegreeSelector
+from .hotpath import hot_loop
 from .trace import DecisionLog
 from .workspace import compact_remap
 
 __all__ = ["FlatTriangleWorkspace", "flat_one_pass_dominance"]
 
 
+@hot_loop
 def flat_one_pass_dominance(graph: Graph) -> List[int]:
     """Degree-decreasing dominance sweep over flat CSR buffers.
 
@@ -57,6 +59,7 @@ def flat_one_pass_dominance(graph: Graph) -> List[int]:
     clock = 0
     order = sorted(range(n), key=deg.__getitem__, reverse=True)
     removed: List[int] = []
+    candidates: List[int] = []  # reused across iterations (hot-loop purity)
     for u in order:
         if not alive[u]:
             continue
@@ -64,7 +67,7 @@ def flat_one_pass_dominance(graph: Graph) -> List[int]:
         clock += 1
         row_u = adj[xadj[u] : xadj[u + 1]]
         dominated = False
-        candidates: List[int] = []
+        candidates.clear()
         for w in row_u:
             if alive[w]:
                 stamp[w] = clock
@@ -302,7 +305,7 @@ class FlatTriangleWorkspace:
         alive = self.alive
         return [w for w in self.adj[self.xadj[v] : self._rend[v]] if alive[w]]
 
-    def iter_live_neighbors(self, v: int):
+    def iter_live_neighbors(self, v: int) -> List[int]:
         """Current neighbours of ``v`` (eagerly materialised list)."""
         alive = self.alive
         return [w for w in self.adj[self.xadj[v] : self._rend[v]] if alive[w]]
@@ -401,6 +404,7 @@ class FlatTriangleWorkspace:
         elif d == 2:
             self.v2.append(w)
 
+    @hot_loop
     def delete_vertex(self, u: int, reason: str = "exclude") -> None:
         """Delete ``u`` with full triangle/dominance maintenance.
 

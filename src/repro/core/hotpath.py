@@ -1,0 +1,39 @@
+"""The ``@hot_loop`` marker for allocation-free hot paths.
+
+The flat kernels (the fused BDOne/LinearTime loops, the NearLinear main
+loop and dominance maintenance, the ARW swap scan) owe their constant
+factors to a discipline the code cannot express on its own: bind
+attributes to locals in a prelude, then run loop bodies that allocate no
+containers, build no closures, and never chase attribute chains.  The
+:mod:`repro.lint` checker (rule RL001) machine-enforces that discipline,
+and this decorator is how a function opts in.
+
+At run time the decorator is free: it stamps ``__hot_loop__`` on the
+function object and returns it unchanged — no wrapper frame, so decorated
+kernels cost exactly what undecorated ones do.  The stamp exists for
+introspection (and tests); the linter itself matches the decorator
+*syntactically*, so ``@hot_loop`` keeps working under ``from ... import``
+renames only if the name ``hot_loop`` is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_loop"]
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def hot_loop(fn: _F) -> _F:
+    """Mark ``fn`` as a hot loop subject to RL001 (hot-loop purity).
+
+    Inside a decorated function the :mod:`repro.lint` checker forbids
+    closures and ``try``/``except`` anywhere, comprehension allocations
+    anywhere, and — inside loop bodies — dict/set/list literals, calls to
+    the allocating builtins (``dict``/``set``/``list``/``frozenset``/
+    ``sorted``) and chained attribute lookups (``a.b.c``).  Bind what the
+    loop needs to locals *before* the first loop statement.
+    """
+    fn.__hot_loop__ = True  # type: ignore[attr-defined]
+    return fn

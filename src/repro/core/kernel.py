@@ -21,6 +21,7 @@ from ..errors import ReproError
 from ..graphs.static_graph import Graph
 from .linear_time import linear_time_reduce
 from .near_linear import near_linear_reduce
+from .result import STAT_DEGREE_ONE
 from .trace import DecisionLog
 from .workspace import ArrayWorkspace
 
@@ -99,7 +100,7 @@ def _degree_one_reduce(graph: Graph) -> Tuple[Graph, List[int], DecisionLog]:
         for v in workspace.iter_live_neighbors(u):
             workspace.delete_vertex(v, "exclude")
             break
-        workspace.log.bump("degree-one")
+        workspace.log.bump(STAT_DEGREE_ONE)
     kernel, old_ids = workspace.export_kernel()
     return kernel, old_ids, workspace.log
 

@@ -24,9 +24,10 @@ identical either way.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..graphs.static_graph import Graph
+from .hotpath import hot_loop
 from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, PEEL, DecisionLog
@@ -37,7 +38,7 @@ from ..obs.telemetry import get_telemetry, phase
 __all__ = ["linear_time", "linear_time_reduce"]
 
 
-def _reduce(workspace, stop_before_peel: bool) -> bool:
+def _reduce(workspace: Any, stop_before_peel: bool) -> bool:
     """Run the LinearTime reduction loop on any workspace backend.
 
     Returns ``True`` when the graph was fully consumed, ``False`` when the
@@ -75,6 +76,7 @@ def _reduce(workspace, stop_before_peel: bool) -> bool:
         bump(STAT_PEEL)
 
 
+@hot_loop
 def _reduce_flat(workspace: FlatWorkspace, stop_before_peel: bool) -> bool:
     """The same loop specialized to the flat CSR buffers.
 
@@ -188,7 +190,7 @@ def _reduce_flat(workspace: FlatWorkspace, stop_before_peel: bool) -> bool:
     return consumed
 
 
-def _run(workspace, stop_before_peel: bool) -> bool:
+def _run(workspace: Any, stop_before_peel: bool) -> bool:
     """Dispatch to the specialized or the generic reduction loop."""
     if type(workspace) is FlatWorkspace:
         return _reduce_flat(workspace, stop_before_peel)

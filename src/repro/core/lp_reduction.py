@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from ..graphs.static_graph import Graph
 
@@ -168,7 +168,9 @@ class LPReductionResult:
         return len(self.included) + len(self.remaining) / 2.0
 
 
-def _solve_csr(n: int, xadj, adj) -> Tuple[List[int], List[int]]:
+def _solve_csr(
+    n: int, xadj: Sequence[int], adj: Sequence[int]
+) -> Tuple[List[int], List[int]]:
     """Hopcroft–Karp on the bipartite double cover, straight off CSR buffers.
 
     Behaviourally identical to :class:`HopcroftKarp` fed the neighbour
@@ -255,7 +257,11 @@ def _solve_csr(n: int, xadj, adj) -> Tuple[List[int], List[int]]:
 
 
 def _minimum_vertex_cover_csr(
-    n: int, xadj, adj, match_left: List[int], match_right: List[int]
+    n: int,
+    xadj: Sequence[int],
+    adj: Sequence[int],
+    match_left: List[int],
+    match_right: List[int],
 ) -> Tuple[List[bool], List[bool]]:
     """König cover over CSR buffers (mirrors
     :meth:`HopcroftKarp.minimum_vertex_cover`)."""

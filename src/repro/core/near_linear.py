@@ -20,12 +20,13 @@ Worst-case time O(m·Δ); in practice near-linear because phase 1 collapses Δ.
 from __future__ import annotations
 
 import time
-from typing import List, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..graphs.static_graph import Graph
 from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .dominance import TriangleWorkspace, one_pass_dominance
 from .flat_dominance import FlatTriangleWorkspace, flat_one_pass_dominance
+from .hotpath import hot_loop
 from .lp_reduction import lp_reduction
 from .result import (
     STAT_DEGREE_ONE,
@@ -43,7 +44,8 @@ from ..obs.telemetry import get_telemetry, phase
 __all__ = ["near_linear", "near_linear_reduce"]
 
 
-def _main_loop(workspace, stop_before_peel: bool) -> bool:
+@hot_loop
+def _main_loop(workspace: Any, stop_before_peel: bool) -> bool:
     """Run Algorithm 5's reduction loop.
 
     Worklist pops, deletions and counter bumps are bound to locals at loop
@@ -90,7 +92,11 @@ def _main_loop(workspace, stop_before_peel: bool) -> bool:
 
 
 def _preprocess(
-    graph: Graph, log: DecisionLog, preprocess: bool, flat: bool = True, telemetry=None
+    graph: Graph,
+    log: DecisionLog,
+    preprocess: bool,
+    flat: bool = True,
+    telemetry: Any = None,
 ) -> Tuple[Graph, List[int]]:
     """Phases 1–2: one-pass dominance, then the LP reduction.
 
@@ -136,7 +142,7 @@ def _preprocess(
 def near_linear(
     graph: Graph,
     preprocess: bool = True,
-    workspace_factory=None,
+    workspace_factory: Optional[Callable[..., object]] = None,
 ) -> MISResult:
     """Compute a maximal independent set of ``graph`` with NearLinear.
 
@@ -185,7 +191,9 @@ def near_linear(
 
 
 def near_linear_reduce(
-    graph: Graph, preprocess: bool = True, workspace_factory=None
+    graph: Graph,
+    preprocess: bool = True,
+    workspace_factory: Optional[Callable[..., object]] = None,
 ) -> Tuple[Graph, List[int], DecisionLog]:
     """Kernelize ``graph`` with NearLinear's exact rules only (no peeling).
 

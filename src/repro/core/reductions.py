@@ -20,7 +20,7 @@ keeping these pure versions separate gives the tests an independent oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..errors import GraphError
 from ..graphs.static_graph import Graph

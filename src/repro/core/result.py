@@ -29,7 +29,16 @@ __all__ = [
     "STAT_PATH_ODD_NO_EDGE",
     "STAT_PATH_EVEN_EDGE",
     "STAT_PATH_EVEN_NO_EDGE",
+    "STAT_TWIN",
+    "STAT_UNCONFINED",
+    "STAT_ROUNDS",
+    "STAT_KERNEL_SIZE",
+    "STAT_ONE_K_GAIN",
+    "STAT_TWO_K_GAIN",
+    "STAT_PASSES",
     "KNOWN_STAT_KEYS",
+    "SOLVER_STAT_KEYS",
+    "ALL_STAT_KEYS",
 ]
 
 # ---------------------------------------------------------------------------
@@ -51,6 +60,15 @@ STAT_PATH_ODD_EDGE = "path:odd-edge"
 STAT_PATH_ODD_NO_EDGE = "path:odd-no-edge"
 STAT_PATH_EVEN_EDGE = "path:even-edge"
 STAT_PATH_EVEN_NO_EDGE = "path:even-no-edge"
+# Counters emitted outside the reducing-peeling framework proper: the exact
+# vertex-cover solver's extra reductions and the baselines' progress meters.
+STAT_TWIN = "twin"
+STAT_UNCONFINED = "unconfined"
+STAT_ROUNDS = "rounds"
+STAT_KERNEL_SIZE = "kernel_size"
+STAT_ONE_K_GAIN = "one-k-gain"
+STAT_TWO_K_GAIN = "two-k-gain"
+STAT_PASSES = "passes"
 
 #: Every counter key a reducing-peeling driver may emit.  Baselines and the
 #: exact solver add their own (``rounds``, ``twin``, …); this set covers the
@@ -73,6 +91,23 @@ KNOWN_STAT_KEYS = frozenset(
         STAT_PATH_EVEN_NO_EDGE,
     }
 )
+
+#: Keys emitted by the exact solver and the baselines (outside the
+#: flat/legacy parity contract, hence a separate set).
+SOLVER_STAT_KEYS = frozenset(
+    {
+        STAT_TWIN,
+        STAT_UNCONFINED,
+        STAT_ROUNDS,
+        STAT_KERNEL_SIZE,
+        STAT_ONE_K_GAIN,
+        STAT_TWO_K_GAIN,
+        STAT_PASSES,
+    }
+)
+
+#: The full registry reprolint's RL003 checks stat-key writes against.
+ALL_STAT_KEYS = KNOWN_STAT_KEYS | SOLVER_STAT_KEYS
 
 
 @dataclass(frozen=True)

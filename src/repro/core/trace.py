@@ -20,7 +20,7 @@ after which the solution is extended to a maximal independent set
 from __future__ import annotations
 
 from itertools import compress
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..graphs.static_graph import Graph
 
@@ -141,7 +141,7 @@ class DecisionLog:
         """Increment the application counter for ``rule``."""
         self.stats[rule] = self.stats.get(rule, 0) + amount
 
-    def extend_mapped(self, other: "DecisionLog", id_map) -> None:
+    def extend_mapped(self, other: "DecisionLog", id_map: Sequence[int]) -> None:
         """Append another log's entries with vertex ids translated.
 
         Used when an algorithm ran on a compacted subgraph: ``id_map[x]``

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from array import array
 from operator import sub
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..graphs.static_graph import Graph
 from .bucket_queue import MaxDegreeSelector
@@ -42,7 +42,7 @@ from .trace import DecisionLog
 __all__ = ["ArrayWorkspace", "FlatWorkspace", "compact_remap"]
 
 
-def compact_remap(alive, n: int) -> Tuple[array, List[int]]:
+def compact_remap(alive: Sequence[int], n: int) -> Tuple[array, List[int]]:
     """Flat old→new id map over the live vertices.
 
     Returns ``(remap, old_ids)`` where ``remap`` is an ``array('i')`` of
@@ -113,7 +113,7 @@ class ArrayWorkspace:
         alive = self.alive
         return [w for w in self.adj[v] if alive[w]]
 
-    def iter_live_neighbors(self, v: int):
+    def iter_live_neighbors(self, v: int) -> List[int]:
         """Generator over current neighbours of ``v``."""
         alive = self.alive
         return (w for w in self.adj[v] if alive[w])
@@ -348,7 +348,7 @@ class FlatWorkspace:
         xadj = self.xadj
         return [w for w in self.adj[xadj[v] : xadj[v + 1]] if alive[w]]
 
-    def iter_live_neighbors(self, v: int):
+    def iter_live_neighbors(self, v: int) -> List[int]:
         """Current neighbours of ``v`` (an iterable; eagerly materialised —
         a list comprehension over the row slice beats generator resumption
         on the short rows the path driver walks)."""

@@ -32,6 +32,7 @@ from ..core.reductions import (
     reduce_unconfined,
 )
 from ..core.trace import DecisionLog
+from ..core.result import STAT_DEGREE_TWO_FOLDING, STAT_TWIN, STAT_UNCONFINED
 from ..errors import BudgetExceededError
 from ..graphs.static_graph import Graph
 from .bounds import combined_upper_bound
@@ -78,7 +79,7 @@ def _reduce_to_fixpoint(graph: Graph) -> Tuple[Graph, List[int], DecisionLog]:
                 application = reduce_degree_two_folding(current, fold_target)
                 u, v, w = application.fold_record
                 log.fold(ids[u], ids[v], ids[w])
-                log.bump("degree-two-folding")
+                log.bump(STAT_DEGREE_TWO_FOLDING)
             else:
                 twins = find_twin_pair(current)
                 if twins is not None:
@@ -87,7 +88,7 @@ def _reduce_to_fixpoint(graph: Graph) -> Tuple[Graph, List[int], DecisionLog]:
                     log.include(ids[twins[1]])
                     for doomed in application.removed_vertices - set(twins):
                         log.exclude(ids[doomed])
-                    log.bump("twin")
+                    log.bump(STAT_TWIN)
                 else:
                     # Last resort: the expensive unconfined-vertex rule —
                     # the one the paper singles out as costly (§3.1).
@@ -96,7 +97,7 @@ def _reduce_to_fixpoint(graph: Graph) -> Tuple[Graph, List[int], DecisionLog]:
                         break
                     application = reduce_unconfined(current, unconfined)
                     log.exclude(ids[unconfined])
-                    log.bump("unconfined")
+                    log.bump(STAT_UNCONFINED)
             ids = [ids[x] for x in application.old_ids]
             current = application.reduced
             changed = True

@@ -28,6 +28,7 @@ import time
 from typing import Optional, Union
 
 from ..core.result import MISResult
+from ..core.result import STAT_PASSES, STAT_PEEL
 from ..errors import ReproError
 from ..graphs.static_graph import Graph
 from .edge_stream import EdgeStream
@@ -89,7 +90,7 @@ def semi_external_bdone(
         peeled=peeled,
         surviving_peels=surviving,
         is_exact=surviving == 0,
-        stats={"passes": stream.passes, "peel": peeled},
+        stats={STAT_PASSES: stream.passes, STAT_PEEL: peeled},
         elapsed=time.perf_counter() - start,
     )
 

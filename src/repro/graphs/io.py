@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Dict, List, TextIO, Tuple, Union
+from typing import List, TextIO, Tuple, Union
 
 from ..errors import GraphFormatError
 from .builder import GraphBuilder

@@ -1,0 +1,58 @@
+"""reprolint — AST-based static checks for this repo's internal contracts.
+
+The perf PRs established conventions that ordinary linters cannot see:
+``@hot_loop`` kernels must stay allocation-free, telemetry spans must
+close on every path, stat keys must come from the registry in
+:mod:`repro.core.result`, every oracle-hook driver needs a differential
+test, and flat buffers must pin numpy dtypes.  This package enforces
+those contracts statically, so a refactor that quietly reintroduces a
+per-iteration dict or an unregistered stat key fails ``make lint``
+instead of a perf run three PRs later.
+
+Layout mirrors :mod:`repro.obs`:
+
+* :mod:`repro.lint.findings` — the :class:`Finding` record and severities;
+* :mod:`repro.lint.engine` — file discovery, suppression comments
+  (``# reprolint: disable=RL001``), rule driving;
+* :mod:`repro.lint.rules` — one module per rule (RL001–RL005);
+* :mod:`repro.lint.cli` — the ``python -m repro.lint`` / ``repro lint``
+  front end.
+
+Programmatic use::
+
+    from repro.lint import lint_paths, lint_source, blocking
+    findings = lint_paths(["src", "tests"])
+    assert not blocking(findings)
+"""
+
+from .cli import main, run
+from .engine import (
+    LintModule,
+    blocking,
+    iter_python_files,
+    lint_modules,
+    lint_paths,
+    lint_source,
+    load_module,
+)
+from .findings import ADVICE, ERROR, Finding
+from .rules import ALL_RULES, RULES_BY_ID, Rule, default_rules
+
+__all__ = [
+    "ADVICE",
+    "ALL_RULES",
+    "ERROR",
+    "Finding",
+    "LintModule",
+    "RULES_BY_ID",
+    "Rule",
+    "blocking",
+    "default_rules",
+    "iter_python_files",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+    "load_module",
+    "main",
+    "run",
+]

@@ -1,0 +1,109 @@
+"""Command-line front end for reprolint.
+
+Invoked as ``python -m repro.lint [paths...]`` or via the ``repro lint``
+subcommand.  Exit status is 0 when no blocking findings remain: errors
+always block; advice blocks only under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import blocking, lint_paths
+from .findings import ADVICE, Finding
+
+__all__ = ["build_parser", "main", "run"]
+
+_DEFAULT_PATHS = ("src", "tests")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "reprolint: AST checks for the repo's hot-path, telemetry, "
+            "stat-key, oracle-hook, and dtype contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(_DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat advice-severity findings as blocking",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RLxxx[,RLxxx...]",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _render(findings: Sequence[Finding], fmt: str, strict: bool) -> str:
+    if fmt == "json":
+        payload = {
+            "findings": [finding.to_json() for finding in findings],
+            "errors": sum(1 for f in findings if f.severity != ADVICE),
+            "advice": sum(1 for f in findings if f.severity == ADVICE),
+            "strict": strict,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines = [finding.render() for finding in findings]
+    errors = sum(1 for f in findings if f.severity != ADVICE)
+    advice = len(findings) - errors
+    if findings:
+        lines.append("")
+    lines.append(
+        f"reprolint: {errors} error(s), {advice} advice finding(s)"
+        + (" [strict]" if strict else "")
+    )
+    return "\n".join(lines)
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse ``argv``, lint, print the report, return the exit status."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        from .rules import ALL_RULES
+
+        for cls in ALL_RULES:
+            print(f"{cls.rule_id}  {cls.name:24s} {cls.summary}")
+        return 0
+    rules = None
+    if args.rules:
+        from .rules import default_rules
+
+        wanted: List[str] = [part.strip() for part in args.rules.split(",") if part.strip()]
+        try:
+            rules = default_rules(wanted)
+        except KeyError as exc:
+            print(f"reprolint: {exc.args[0]}", file=sys.stderr)
+            return 2
+    findings = lint_paths(args.paths, rules=rules)
+    print(_render(findings, args.format, args.strict))
+    return 1 if blocking(findings, strict=args.strict) else 0
+
+
+def main() -> None:
+    """Console entry point (exits the process)."""
+    raise SystemExit(run())

@@ -1,0 +1,190 @@
+"""The reprolint engine: file discovery, parsing, suppressions, rule driving.
+
+The engine is deliberately small: it turns paths into
+:class:`LintModule` objects (source + AST + parsed suppression comments),
+hands them to the rules from :mod:`repro.lint.rules`, filters suppressed
+findings, and returns the rest sorted by location.  All repo-specific
+knowledge lives in the rules.
+
+Suppressions follow the familiar inline-comment convention::
+
+    risky_line()  # reprolint: disable=RL001
+    another()     # reprolint: disable=RL001,RL003
+    yet_more()    # reprolint: disable
+
+    # reprolint: disable-file=RL004   (anywhere in the file)
+
+A bare ``disable`` suppresses every rule on that line; ``disable-file``
+suppresses the named rules (or all, when bare) for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
+
+from .findings import ADVICE, ERROR, Finding
+
+__all__ = [
+    "LintModule",
+    "blocking",
+    "iter_python_files",
+    "lint_modules",
+    "lint_paths",
+    "lint_source",
+    "load_module",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable-file|disable)(?:=([A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" in the suppression tables.
+_ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+def _parse_rule_list(raw: Optional[str]) -> FrozenSet[str]:
+    if raw is None:
+        return _ALL_RULES
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return ids or _ALL_RULES
+
+
+class LintModule:
+    """One parsed source file: path, AST, and suppression tables.
+
+    ``path`` is normalised to ``/`` separators so rules can scope
+    themselves by path fragment (``"src/repro/perf/"`` …) portably.
+    """
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = ast.parse(source)
+        self.line_disables: Dict[int, FrozenSet[str]] = {}
+        self.file_disables: FrozenSet[str] = frozenset()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            ids = _parse_rule_list(match.group(2))
+            if match.group(1) == "disable-file":
+                self.file_disables = self.file_disables | ids
+            else:
+                self.line_disables[lineno] = self.line_disables.get(
+                    lineno, frozenset()
+                ) | ids
+
+    @property
+    def is_test(self) -> bool:
+        """Whether this module lives under ``tests/`` (or is a test file)."""
+        parts = self.path.split("/")
+        return "tests" in parts or parts[-1].startswith("test_")
+
+    def path_matches(self, fragments: Iterable[str]) -> bool:
+        """Whether any fragment occurs in (or suffixes) the module path."""
+        return any(f in self.path for f in fragments)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether an inline or file-level comment disables this finding."""
+        for ids in (self.file_disables, self.line_disables.get(finding.line)):
+            if ids and (ids is _ALL_RULES or "*" in ids or finding.rule_id in ids):
+                return True
+        return False
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files and directories into a sorted list of ``.py`` paths."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+                found.extend(
+                    os.path.join(dirpath, name)
+                    for name in filenames
+                    if name.endswith(".py")
+                )
+        else:
+            found.append(path)
+    return sorted(set(found))
+
+
+def load_module(path: str) -> LintModule:
+    """Read and parse one file into a :class:`LintModule`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return LintModule(path, handle.read())
+
+
+def lint_modules(modules: Sequence[LintModule], rules: Sequence) -> List[Finding]:
+    """Run every rule over the modules; return unsuppressed findings, sorted."""
+    by_path = {module.path: module for module in modules}
+    findings: List[Finding] = []
+    for rule in rules:
+        for module in modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(modules))
+    kept = [
+        finding
+        for finding in findings
+        if finding.path not in by_path or not by_path[finding.path].suppressed(finding)
+    ]
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+def lint_paths(paths: Sequence[str], rules: Optional[Sequence] = None) -> List[Finding]:
+    """Lint the given files/directories with the (default) rule set.
+
+    Unparseable files surface as ``RL000`` error findings instead of
+    aborting the run, so one syntax error does not hide every other
+    diagnosis.
+    """
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    modules: List[LintModule] = []
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            findings.append(
+                Finding(
+                    rule_id="RL000",
+                    path=path.replace(os.sep, "/"),
+                    line=line,
+                    col=0,
+                    message=f"could not parse file: {exc}",
+                )
+            )
+    findings.extend(lint_modules(modules, rules))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "src/repro/snippet.py",
+    rules: Optional[Sequence] = None,
+) -> List[Finding]:
+    """Lint an in-memory snippet (the fixture-test entry point).
+
+    ``path`` controls rule scoping (several rules only apply under
+    ``src/``), so fixtures can impersonate any location in the repo.
+    """
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    return lint_modules([LintModule(path, source)], rules)
+
+
+def blocking(findings: Iterable[Finding], strict: bool = False) -> List[Finding]:
+    """The findings that should fail the run (errors; advice too if strict)."""
+    levels = {ERROR, ADVICE} if strict else {ERROR}
+    return [finding for finding in findings if finding.severity in levels]

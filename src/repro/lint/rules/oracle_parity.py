@@ -1,0 +1,132 @@
+"""RL004 — oracle-hook parity between algorithm modules and tests.
+
+The flat kernels are trusted because every driver that exposes a
+``workspace_factory`` / ``state_factory`` oracle hook has a differential
+test that runs both backends and asserts byte-identical decisions.  That
+trust decays silently: a new hook-bearing driver without a differential
+test still imports, still passes its own unit tests, and still ships a
+flat path nobody cross-checked.
+
+RL004 is a *project* rule (it needs the whole file set at once).  It
+collects every non-test ``src/`` module that defines a public function
+with a parameter named ``workspace_factory`` or ``state_factory``, then
+walks the test ASTs looking for a certificate: a test module that
+
+* references at least one of the module's hook functions by name
+  (``Name`` or ``Attribute`` mention — indirection through a local
+  ``variant`` alias still counts because the import is a mention), and
+* contains at least one call passing the hook keyword
+  (``workspace_factory=...`` / ``state_factory=...``), i.e. actually
+  exercises a non-default backend.
+
+A hook-bearing module with no such test module is an error, anchored at
+its first hook function definition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from ..engine import LintModule
+from ..findings import Finding
+from .base import Rule
+
+__all__ = ["OracleHookParityRule"]
+
+_HOOK_PARAMS = frozenset({"workspace_factory", "state_factory"})
+
+
+def _hook_functions(module: LintModule) -> List[Tuple[ast.AST, Set[str]]]:
+    """Public ``def``s of ``module`` with a hook parameter, plus the hooks."""
+    found: List[Tuple[ast.AST, Set[str]]] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        args = node.args
+        params = {
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        }
+        hooks = params & _HOOK_PARAMS
+        if hooks:
+            found.append((node, hooks))
+    return found
+
+
+def _mentioned_names(module: LintModule) -> Set[str]:
+    """Every identifier a module mentions (names and attribute accesses)."""
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            names.update(alias.name for alias in node.names)
+    return names
+
+
+def _hook_keywords_used(module: LintModule) -> Set[str]:
+    """Which hook keywords the module passes in at least one call."""
+    used: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            used.update(
+                keyword.arg
+                for keyword in node.keywords
+                if keyword.arg in _HOOK_PARAMS
+            )
+    return used
+
+
+class OracleHookParityRule(Rule):
+    """Hook-exposing algorithm modules need a differential test."""
+
+    rule_id = "RL004"
+    name = "oracle-hook-parity"
+    summary = (
+        "every src module exposing workspace_factory/state_factory hooks "
+        "must have a test module that names its hook functions and passes "
+        "the hook keyword"
+    )
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        test_evidence: List[Tuple[Set[str], Set[str]]] = [
+            (_mentioned_names(module), _hook_keywords_used(module))
+            for module in modules
+            if module.is_test
+        ]
+        if not any(module.is_test for module in modules):
+            # Src-only runs (e.g. `repro lint src/repro/core`) cannot
+            # prove parity either way; stay silent instead of lying.
+            return
+        for module in modules:
+            if module.is_test or not module.path_matches(("src/",)):
+                continue
+            hook_defs = _hook_functions(module)
+            if not hook_defs:
+                continue
+            hook_names = {node.name for node, _ in hook_defs}  # type: ignore[attr-defined]
+            needed: Set[str] = set()
+            for _, hooks in hook_defs:
+                needed |= hooks
+            covered = any(
+                (mentions & hook_names) and (keywords & needed)
+                for mentions, keywords in test_evidence
+            )
+            if not covered:
+                anchor, _ = hook_defs[0]
+                hooks_label = ", ".join(sorted(needed))
+                yield self.finding(
+                    module,
+                    anchor,
+                    f"module exposes oracle hooks ({hooks_label}) via "
+                    f"{', '.join(sorted(hook_names))} but no test module "
+                    "references them AND passes the hook keyword",
+                    fixit="add a differential test that runs the flat and "
+                    "legacy backends through the hook and asserts equal "
+                    "results",
+                )

@@ -13,7 +13,7 @@ kernel edge dropped) and re-extended before the search starts.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Set, Tuple
+from typing import Iterable, Optional, Set
 
 from ..core.kernel import KernelResult, kernelize
 from ..core.linear_time import linear_time

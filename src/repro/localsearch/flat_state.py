@@ -31,6 +31,7 @@ from typing import Iterable, List, Optional, Set, Tuple
 
 from ..errors import NotASolutionError
 from ..graphs.static_graph import Graph
+from ..core.hotpath import hot_loop
 
 __all__ = ["FlatLocalSearchState"]
 
@@ -74,6 +75,7 @@ class FlatLocalSearchState:
     # ------------------------------------------------------------------
     # Elementary moves
     # ------------------------------------------------------------------
+    @hot_loop
     def insert(self, v: int) -> None:
         """Add ``v`` to the solution (caller guarantees independence)."""
         if self.in_solution[v]:
@@ -99,6 +101,7 @@ class FlatLocalSearchState:
                 one_tight[holder[w]] -= 1
         one_tight[v] = count
 
+    @hot_loop
     def remove(self, v: int, clock: int = 0) -> None:
         """Remove ``v`` from the solution."""
         in_solution = self.in_solution
@@ -155,6 +158,7 @@ class FlatLocalSearchState:
             if not in_solution[w] and tight[w] == 1
         ]
 
+    @hot_loop
     def find_one_two_swap(self, x: int) -> Optional[Tuple[int, int]]:
         """A pair of non-adjacent 1-tight neighbours of ``x``, if any.
 
@@ -188,6 +192,7 @@ class FlatLocalSearchState:
         self.insert(u)
         self.insert(w)
 
+    @hot_loop
     def local_search(self) -> int:
         """Exhaust (1,2)-swaps plus free insertions; returns improvement.
 

@@ -14,14 +14,13 @@ re-verify all three after each step.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
+from repro.core.degree_two_paths import apply_degree_two_path_reduction
 from repro.core.dominance import TriangleWorkspace
 from repro.core.workspace import ArrayWorkspace
-from repro.graphs import Graph, gnm_random_graph, triangle_counts
+from repro.graphs import gnm_random_graph, triangle_counts
 
 SETTINGS = settings(
     max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]

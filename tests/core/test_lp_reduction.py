@@ -5,7 +5,6 @@ import pytest
 from repro.core.lp_reduction import HopcroftKarp, lp_reduction, lp_upper_bound
 from repro.exact import brute_force_alpha
 from repro.graphs import (
-    Graph,
     complete_bipartite_graph,
     complete_graph,
     cycle_graph,

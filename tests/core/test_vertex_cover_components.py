@@ -1,6 +1,5 @@
 """Tests for the vertex-cover API and per-component solving."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for structural graph analytics."""
 
-import pytest
 
 from repro.graphs import (
     complete_graph,

@@ -1,0 +1,145 @@
+"""Engine-level tests: suppressions, severity gating, CLI, self-check.
+
+The self-check at the bottom is the tentpole guarantee of this package:
+the repo's own ``src`` and ``tests`` trees stay reprolint-clean, so a
+change that re-introduces a hot-loop allocation or an unregistered stat
+key fails the suite — not a perf run three PRs later.
+"""
+
+import json
+import os
+import textwrap
+
+from repro.lint import (
+    ADVICE,
+    ALL_RULES,
+    ERROR,
+    RULES_BY_ID,
+    blocking,
+    default_rules,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.cli import run as lint_cli
+from repro.lint.findings import Finding
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+BAD_HOT_LOOP = textwrap.dedent(
+    """
+    from repro.core import hot_loop
+
+    @hot_loop
+    def kernel(ws):
+        for u in ws.order:
+            seen = set()
+        return seen
+    """
+)
+
+
+class TestSuppressions:
+    def test_inline_disable_suppresses_one_line(self):
+        source = BAD_HOT_LOOP.replace(
+            "seen = set()", "seen = set()  # reprolint: disable=RL001"
+        )
+        assert lint_source(source) == []
+
+    def test_inline_disable_is_rule_specific(self):
+        source = BAD_HOT_LOOP.replace(
+            "seen = set()", "seen = set()  # reprolint: disable=RL003"
+        )
+        assert [f.rule_id for f in lint_source(source)] == ["RL001"]
+
+    def test_bare_disable_suppresses_all_rules_on_line(self):
+        source = BAD_HOT_LOOP.replace(
+            "seen = set()", "seen = set()  # reprolint: disable"
+        )
+        assert lint_source(source) == []
+
+    def test_file_level_disable(self):
+        source = "# reprolint: disable-file=RL001\n" + BAD_HOT_LOOP
+        assert lint_source(source) == []
+
+    def test_unsuppressed_fixture_still_fires(self):
+        assert [f.rule_id for f in lint_source(BAD_HOT_LOOP)] == ["RL001"]
+
+
+class TestSeverities:
+    def test_blocking_ignores_advice_by_default(self):
+        advice = Finding("RL003", "x.py", 1, 0, "m", severity=ADVICE)
+        error = Finding("RL001", "x.py", 2, 0, "m", severity=ERROR)
+        assert blocking([advice, error]) == [error]
+        assert blocking([advice, error], strict=True) == [advice, error]
+
+
+class TestRegistry:
+    def test_rule_ids_are_unique_and_sequential(self):
+        ids = [cls.rule_id for cls in ALL_RULES]
+        assert ids == sorted(set(ids))
+        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+    def test_default_rules_subset_and_unknown(self):
+        assert [r.rule_id for r in default_rules(["RL002"])] == ["RL002"]
+        try:
+            default_rules(["RL999"])
+        except KeyError as exc:
+            assert "RL999" in str(exc)
+        else:
+            raise AssertionError("unknown rule id must raise")
+
+    def test_every_rule_has_identity(self):
+        for rule_id, cls in RULES_BY_ID.items():
+            assert cls.rule_id == rule_id
+            assert cls.name
+            assert cls.summary
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X = 1\n")
+        assert lint_cli([str(target)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(BAD_HOT_LOOP)
+        assert lint_cli([str(target)]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(BAD_HOT_LOOP)
+        assert lint_cli([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "RL001"
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert lint_cli([str(target)]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert lint_cli(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for cls in ALL_RULES:
+            assert cls.rule_id in out
+
+
+class TestRepoIsClean:
+    def test_src_and_tests_have_no_blocking_findings(self):
+        findings = lint_paths(
+            [
+                os.path.join(REPO_ROOT, "src"),
+                os.path.join(REPO_ROOT, "tests"),
+            ]
+        )
+        offenders = blocking(findings)
+        assert offenders == [], "\n".join(f.render() for f in offenders)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import is_independent_set, is_maximal_independent_set
+from repro.analysis import is_independent_set
 from repro.baselines import du
 from repro.errors import NotASolutionError
 from repro.exact import brute_force_alpha

@@ -36,6 +36,7 @@ examples:
 	python examples/wireless_scheduling.py
 	python examples/kernelize_and_boost.py
 	python examples/upper_bound_certificates.py
+	python examples/dynamic_scheduling.py
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks

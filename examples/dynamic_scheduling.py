@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Scheduling on a *changing* conflict graph via the serving layer.
+
+The other examples solve one frozen graph.  Real conflict graphs drift:
+stations join and leave, interference appears and disappears as the radio
+environment changes.  Re-kernelizing from scratch after every change wastes
+almost all of its work — the paper's reductions are local, so a small edit
+should only disturb a small neighbourhood.
+
+:class:`repro.serve.SolverService` packages that observation: register the
+graph once, mutate it in place, and let the service route each query to the
+cheapest correct path — a kernel-cache hit when the structure reverted, a
+localized repair around the dirty neighbourhood for small edits, or a full
+re-solve once too much of the graph has changed.
+
+Run:  python examples/dynamic_scheduling.py
+"""
+
+import random
+import time
+
+from repro import Graph
+from repro.serve import Mutation, ServiceConfig, SolverService, cold_solve
+
+
+def build_conflict_graph(stations: int, radio_range: float, seed: int) -> Graph:
+    """Random geometric conflict graph (same model as wireless_scheduling)."""
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(stations)]
+    edges = []
+    limit = radio_range * radio_range
+    for i in range(stations):
+        xi, yi = points[i]
+        for j in range(i + 1, stations):
+            xj, yj = points[j]
+            if (xi - xj) ** 2 + (yi - yj) ** 2 <= limit:
+                edges.append((i, j))
+    return Graph.from_edges(stations, edges, name="conflict")
+
+
+def drift(dynamic, rng, flips: int):
+    """A burst of environmental drift: a few interference pairs flip."""
+    mutations = []
+    n = dynamic.n_allocated
+    while len(mutations) < flips:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or not (dynamic.is_live(u) and dynamic.is_live(v)):
+            continue
+        kind = "remove_edge" if dynamic.has_edge(u, v) else "add_edge"
+        mutations.append(Mutation(kind, u, v))
+    return mutations
+
+
+def main() -> None:
+    conflict = build_conflict_graph(stations=2_000, radio_range=0.04, seed=3)
+    print(
+        f"conflict graph: {conflict.n:,} stations,"
+        f" {conflict.m:,} interference pairs"
+    )
+
+    service = SolverService(ServiceConfig(algorithm="near_linear"))
+    gid = service.register(conflict)
+    first = service.solve(gid)
+    print(
+        f"initial slot: {first.size:,} concurrent transmissions"
+        f" (source={first.source}, certified <= {first.upper_bound:,})"
+    )
+
+    rng = random.Random(17)
+    dynamic = service.dynamic_graph(gid)
+    repair_wall = cold_wall = 0.0
+    for epoch in range(10):
+        service.apply(gid, drift(dynamic, rng, flips=6))
+
+        start = time.perf_counter()
+        result = service.solve(gid)
+        repair_wall += time.perf_counter() - start
+
+        snapshot, _ = dynamic.snapshot()
+        start = time.perf_counter()
+        fresh = cold_solve(snapshot, "near_linear")
+        cold_wall += time.perf_counter() - start
+
+        scope = result.repair_scope.get("region", 0)
+        print(
+            f"epoch {epoch}: {result.size:,} transmissions via"
+            f" {result.source}"
+            f" (touched {scope} of {snapshot.n:,} stations,"
+            f" fresh solve finds {len(fresh.independent_set):,})"
+        )
+        assert result.size >= 0.95 * len(fresh.independent_set)
+
+    counters = service.counters()
+    print(
+        f"\n10 drift epochs: served {repair_wall:.3f}s incremental"
+        f" vs {cold_wall:.3f}s from scratch"
+        f" ({cold_wall / repair_wall:.1f}x)"
+    )
+    print(
+        f"service events: {counters['events']}"
+        f"\ncache: {counters['cache']}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -37,9 +37,13 @@ Package map
 ``repro.perf``
     Performance subsystem: parallel per-component solving over flat CSR
     buffers and the perf-regression harness (see ``docs/performance.md``).
+``repro.serve``
+    Incremental solving service: register graphs once, mutate them between
+    queries, answer from a fingerprint-keyed kernel cache with localized
+    repair (see ``docs/serving.md``).
 """
 
-from . import analysis, baselines, bench, core, exact, external, graphs, localsearch, perf
+from . import analysis, baselines, bench, core, exact, external, graphs, localsearch, perf, serve
 from .analysis import (
     assert_valid_solution,
     is_independent_set,
@@ -83,20 +87,26 @@ from .graphs import (
 )
 from .localsearch import arw, arw_lt, arw_nl
 from .perf import solve_by_components_parallel
+from .serve import DynamicGraph, Mutation, ServeResult, ServiceConfig, SolverService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
     "BudgetExceededError",
+    "DynamicGraph",
     "Graph",
     "GraphBuilder",
     "GraphError",
     "GraphFormatError",
     "KernelResult",
     "MISResult",
+    "Mutation",
     "NotASolutionError",
     "ReproError",
+    "ServeResult",
+    "ServiceConfig",
+    "SolverService",
     "VCResult",
     "VertexError",
     "analysis",
@@ -139,5 +149,6 @@ __all__ = [
     "read_metis",
     "redumis",
     "semi_external",
+    "serve",
     "web_like_graph",
 ]

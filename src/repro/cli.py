@@ -9,7 +9,11 @@ Five subcommands cover the library's everyday uses:
 * ``info``      — print structural statistics of a graph file;
 * ``generate``  — emit a synthetic graph (power-law, G(n,m), web-like);
 * ``obs``       — inspect observability artefacts (``obs report`` pretty-
-  prints a JSON-lines telemetry trace).
+  prints a JSON-lines telemetry trace);
+* ``serve``     — drive the incremental solving service from a JSONL
+  request stream (see :mod:`repro.serve.requests` for the protocol);
+* ``snapshot``  — summarize a service snapshot written by ``serve
+  --snapshot`` or :meth:`repro.serve.SolverService.save`.
 
 Graph files are auto-detected by extension: ``.metis``/``.graph`` (METIS),
 ``.col``/``.dimacs`` (DIMACS), anything else as a SNAP edge list.
@@ -178,6 +182,99 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import SolverService, ServiceConfig
+    from .serve.requests import serve_stream
+
+    if args.restore:
+        service = SolverService.load(args.restore)
+        print(
+            f"# restored {len(service.graph_ids())} graph(s) from {args.restore}",
+            file=sys.stderr,
+        )
+    else:
+        service = SolverService(
+            ServiceConfig(
+                algorithm=args.algorithm,
+                cache_capacity=args.cache_capacity,
+                dirty_threshold=args.dirty_threshold,
+                repair_radius=args.repair_radius,
+                default_timeout=args.timeout,
+            )
+        )
+    if args.requests == "-":
+        source = sys.stdin
+        close_source = None
+    else:
+        close_source = open(args.requests, "r", encoding="utf-8")
+        source = close_source
+    if args.output:
+        sink = open(args.output, "w", encoding="utf-8")
+    else:
+        sink = sys.stdout
+    try:
+        failed = serve_stream(service, source, sink)
+    finally:
+        if close_source is not None:
+            close_source.close()
+        if args.output:
+            sink.close()
+    if args.snapshot:
+        service.save(args.snapshot)
+        print(f"# snapshot written to {args.snapshot}", file=sys.stderr)
+    if args.stats:
+        print(
+            f"# counters: {json.dumps(service.counters(), sort_keys=True)}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    import json
+
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    config = payload.get("config", {})
+    graphs = payload.get("graphs", {})
+    cache = payload.get("cache", [])
+    print(f"snapshot version : {payload.get('version')}")
+    print(f"algorithm        : {config.get('algorithm')}")
+    print(f"kernel method    : {config.get('kernel_method')}")
+    print(f"graphs           : {len(graphs)}")
+    for graph_id, record in graphs.items():
+        dynamic = record.get("dynamic", {})
+        alive = dynamic.get("alive", [])
+        edges = dynamic.get("edges", [])
+        solution = record.get("solution")
+        dirty = record.get("dirty", [])
+        stale = " stale" if record.get("stale") else ""
+        kernel = record.get("kernel", {})
+        line = (
+            f"  {graph_id}: n={len(alive)} m={len(edges)} "
+            f"|I|={'-' if solution is None else len(solution)} "
+            f"dirty={len(dirty)}{stale}"
+        )
+        if kernel:
+            line += f" kernel_n={kernel.get('kernel_n')}"
+        print(line)
+    print(f"cache entries    : {len(cache)}")
+    for entry in cache:
+        print(
+            f"  {entry.get('fingerprint', '')[:12]}… "
+            f"algo={entry.get('algorithm')} |I|={len(entry.get('solution', []))} "
+            f"certified={entry.get('exact_bound')}"
+        )
+    if args.verify:
+        from .serve import SolverService
+
+        SolverService.restore(payload)
+        print("# verify: fingerprints match, snapshot restores cleanly")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run as lint_run
 
@@ -256,6 +353,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("trace", help="trace file written by --telemetry")
     obs_report.set_defaults(handler=_cmd_obs_report)
+
+    serve = commands.add_parser(
+        "serve", help="drive the incremental solving service from JSONL requests"
+    )
+    serve.add_argument(
+        "requests", help="JSONL request file ('-' reads from stdin)"
+    )
+    serve.add_argument("--output", help="write JSONL responses here (default stdout)")
+    serve.add_argument(
+        "--algorithm",
+        default="linear_time",
+        choices=["bdone", "linear_time", "near_linear"],
+        help="solver used for cold solves and repairs (default linear_time)",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=64)
+    serve.add_argument(
+        "--dirty-threshold",
+        type=float,
+        default=0.25,
+        help="dirty fraction beyond which repair falls back to a full solve",
+    )
+    serve.add_argument("--repair-radius", type=int, default=2)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-request budget in seconds (graceful stale fallback)",
+    )
+    serve.add_argument("--snapshot", help="save the service state here on exit")
+    serve.add_argument("--restore", help="start from a saved service snapshot")
+    serve.add_argument(
+        "--stats", action="store_true", help="print cache/repair counters to stderr"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="summarize a saved service snapshot"
+    )
+    snapshot.add_argument("snapshot", help="snapshot JSON written by `repro serve`")
+    snapshot.add_argument(
+        "--verify",
+        action="store_true",
+        help="additionally restore the snapshot and verify its fingerprints",
+    )
+    snapshot.set_defaults(handler=_cmd_snapshot)
 
     lint = commands.add_parser(
         "lint", help="run reprolint, the repo's contract checker"

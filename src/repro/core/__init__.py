@@ -13,7 +13,7 @@ Public surface:
 
 from .bdone import bdone
 from .bdtwo import bdtwo
-from .components import solve_by_components
+from .components import affected_region, solve_by_components, touched_components
 from .dominance import TriangleWorkspace
 from .flat_dominance import FlatTriangleWorkspace
 from .framework import ALGORITHMS, compute_independent_set
@@ -30,6 +30,8 @@ from .workspace import ArrayWorkspace, FlatWorkspace
 __all__ = [
     "ALGORITHMS",
     "ArrayWorkspace",
+    "affected_region",
+    "touched_components",
     "FlatTriangleWorkspace",
     "FlatWorkspace",
     "KERNEL_METHODS",

@@ -12,13 +12,75 @@ never more).
 from __future__ import annotations
 
 import time
-from typing import Callable, List
+from collections import deque
+from typing import Callable, Iterable, List
 
 from ..graphs.properties import connected_components
 from ..graphs.static_graph import Graph
 from .result import MISResult
 
-__all__ = ["solve_by_components"]
+__all__ = ["affected_region", "solve_by_components", "touched_components"]
+
+
+def affected_region(graph: Graph, seeds: Iterable[int], radius: int = 2) -> List[int]:
+    """Vertices within ``radius`` hops of any seed, sorted ascending.
+
+    The invalidation primitive behind localized repair
+    (:mod:`repro.serve`): a batch of graph mutations dirties the seed
+    vertices, and only this bounded neighbourhood needs its independent-set
+    decisions revisited — everything further away keeps its previous
+    status.  ``radius=0`` returns the (live, deduplicated) seeds themselves.
+    """
+    seen = bytearray(graph.n)
+    frontier: List[int] = []
+    for v in seeds:
+        if 0 <= v < graph.n and not seen[v]:
+            seen[v] = 1
+            frontier.append(v)
+    region = list(frontier)
+    for _ in range(radius):
+        if not frontier:
+            break
+        next_frontier: List[int] = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = 1
+                    next_frontier.append(v)
+        region.extend(next_frontier)
+        frontier = next_frontier
+    region.sort()
+    return region
+
+
+def touched_components(graph: Graph, seeds: Iterable[int]) -> List[List[int]]:
+    """The connected components of ``graph`` containing any seed vertex.
+
+    Each component is a sorted vertex list; components are returned largest
+    first (matching :func:`repro.graphs.properties.connected_components`).
+    Used by the serving layer to decide which per-component results a
+    mutation batch invalidates: a component with no seed is untouched and
+    its cached solution restriction stays valid verbatim.
+    """
+    seen = bytearray(graph.n)
+    components: List[List[int]] = []
+    for start in seeds:
+        if not 0 <= start < graph.n or seen[start]:
+            continue
+        seen[start] = 1
+        queue = deque([start])
+        component = [start]
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = 1
+                    component.append(v)
+                    queue.append(v)
+        component.sort()
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
 
 
 def solve_by_components(

@@ -36,8 +36,17 @@ __all__ = [
     "STAT_ONE_K_GAIN",
     "STAT_TWO_K_GAIN",
     "STAT_PASSES",
+    "STAT_SERVE_CACHE_HIT",
+    "STAT_SERVE_CACHE_MISS",
+    "STAT_SERVE_REPAIR",
+    "STAT_SERVE_REPAIR_VERTICES",
+    "STAT_SERVE_REPAIR_COMPONENTS",
+    "STAT_SERVE_FULL_RESOLVE",
+    "STAT_SERVE_STALE_RETURN",
+    "STAT_SERVE_MUTATIONS",
     "KNOWN_STAT_KEYS",
     "SOLVER_STAT_KEYS",
+    "SERVE_STAT_KEYS",
     "ALL_STAT_KEYS",
 ]
 
@@ -69,6 +78,16 @@ STAT_KERNEL_SIZE = "kernel_size"
 STAT_ONE_K_GAIN = "one-k-gain"
 STAT_TWO_K_GAIN = "two-k-gain"
 STAT_PASSES = "passes"
+# Counters emitted by the serving layer (:mod:`repro.serve`): cache traffic,
+# localized-repair scope, and graceful-degradation events.
+STAT_SERVE_CACHE_HIT = "serve:cache-hit"
+STAT_SERVE_CACHE_MISS = "serve:cache-miss"
+STAT_SERVE_REPAIR = "serve:repair"
+STAT_SERVE_REPAIR_VERTICES = "serve:repair-vertices"
+STAT_SERVE_REPAIR_COMPONENTS = "serve:repair-components"
+STAT_SERVE_FULL_RESOLVE = "serve:full-resolve"
+STAT_SERVE_STALE_RETURN = "serve:stale-return"
+STAT_SERVE_MUTATIONS = "serve:mutations"
 
 #: Every counter key a reducing-peeling driver may emit.  Baselines and the
 #: exact solver add their own (``rounds``, ``twin``, …); this set covers the
@@ -106,8 +125,24 @@ SOLVER_STAT_KEYS = frozenset(
     }
 )
 
+#: Keys emitted by the serving layer's telemetry counters and request
+#: accounting (:mod:`repro.serve`); separate from the framework sets because
+#: they describe service behaviour, not reduction-rule applications.
+SERVE_STAT_KEYS = frozenset(
+    {
+        STAT_SERVE_CACHE_HIT,
+        STAT_SERVE_CACHE_MISS,
+        STAT_SERVE_REPAIR,
+        STAT_SERVE_REPAIR_VERTICES,
+        STAT_SERVE_REPAIR_COMPONENTS,
+        STAT_SERVE_FULL_RESOLVE,
+        STAT_SERVE_STALE_RETURN,
+        STAT_SERVE_MUTATIONS,
+    }
+)
+
 #: The full registry reprolint's RL003 checks stat-key writes against.
-ALL_STAT_KEYS = KNOWN_STAT_KEYS | SOLVER_STAT_KEYS
+ALL_STAT_KEYS = KNOWN_STAT_KEYS | SOLVER_STAT_KEYS | SERVE_STAT_KEYS
 
 
 @dataclass(frozen=True)

@@ -56,13 +56,17 @@ def read_edge_list(source: PathOrFile, name: str = "") -> Tuple[Graph, List[int]
     Vertex labels may be arbitrary integers; they are compacted to
     ``0 .. n-1`` in sorted-label order.  A header comment of the form
     ``# repro graph: n=N ...`` (as written by :func:`write_edge_list`)
-    additionally declares labels ``0 .. N-1``, which preserves isolated
-    vertices across a round trip.  Returns ``(graph, labels)`` where
-    ``labels[new_id]`` is the original label.
+    declares the vertex *count*: when the edge lines mention fewer than
+    ``N`` distinct labels, the smallest unused non-negative integers are
+    added as isolated vertices, which preserves them across a round trip
+    without inventing phantom vertices for 1-indexed or sparse-label
+    files.  Returns ``(graph, labels)`` where ``labels[new_id]`` is the
+    original label.
     """
     handle, close = _open_for_read(source)
     try:
         seen_labels: set = set()
+        declared_n: int = 0
         raw_edges: List[Tuple[int, int]] = []
         for line_number, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -70,7 +74,7 @@ def read_edge_list(source: PathOrFile, name: str = "") -> Tuple[Graph, List[int]
                 if "repro graph:" in line:
                     for token in line.split():
                         if token.startswith("n="):
-                            seen_labels.update(range(int(token[2:])))
+                            declared_n = max(declared_n, int(token[2:]))
                 continue
             parts = line.split()
             if len(parts) < 2:
@@ -82,6 +86,11 @@ def read_edge_list(source: PathOrFile, name: str = "") -> Tuple[Graph, List[int]
             seen_labels.add(u_label)
             seen_labels.add(v_label)
             raw_edges.append((u_label, v_label))
+        filler = 0
+        while len(seen_labels) < declared_n:
+            if filler not in seen_labels:
+                seen_labels.add(filler)
+            filler += 1
         labels = sorted(seen_labels)
         label_to_id = {label: new for new, label in enumerate(labels)}
         edges = [(label_to_id[u], label_to_id[v]) for u, v in raw_edges]

@@ -66,17 +66,23 @@ __all__ = [
     "main",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: The tracks the CI gate watches: record key in ``timings[graph]`` plus
 #: the wall-time field inside it.  LinearTime is the paper's headline
 #: contribution; NearLinear and ARW-LT gate the flat dominance workspace
-#: and the flat local-search state respectively.
+#: and the flat local-search state respectively; ServeIncremental gates
+#: the serving layer's localized-repair latency on mutation streams.
 GATED_TRACKS: Dict[str, Tuple[str, str]] = {
     "linear_time": ("LinearTime", "flat_wall"),
     "near_linear": ("NearLinear", "flat_wall"),
     "arw_lt": ("ARW-LT", "flat_wall"),
+    "serve_incremental": ("ServeIncremental", "repair_wall"),
 }
+
+#: Edge flips per mutation round in the serve track — small enough to stay
+#: on the repair path, large enough to touch several neighbourhoods.
+_SERVE_MUTATIONS_PER_ROUND = 4
 
 #: Fixed iteration budget for the ARW-LT end-to-end track — wall-clock
 #: budgets would make the measured work machine-dependent.
@@ -219,6 +225,74 @@ def _time_arw_lt(graph: Graph, repeats: int) -> Optional[Dict[str, float]]:
     }
 
 
+def _time_serve_incremental(graph: Graph, repeats: int) -> Dict[str, float]:
+    """The serving-layer track: warm-cache latency and repair-vs-fresh.
+
+    Registers the graph with a :class:`~repro.serve.SolverService`, then
+    measures (a) a warm cache-hit query against the cold solve it avoids,
+    and (b) ``repeats`` seeded mutation rounds where the repair-path query
+    races a fresh cold solve of the same mutated snapshot.  The repaired
+    solution must stay within 95% of the fresh size — a silent quality
+    collapse fails the bench, not just the speedup.
+    """
+    from ..serve import Mutation, ServiceConfig, SolverService
+    from ..serve.repair import cold_solve
+
+    _, cold_wall = _best_of(lambda: cold_solve(graph, "linear_time"), repeats)
+
+    service = SolverService(ServiceConfig(algorithm="linear_time"))
+    graph_id = service.register(graph)
+    first = service.solve(graph_id)
+    _, warm_wall = _best_of(lambda: service.solve(graph_id), repeats)
+
+    rng = random.Random(11)
+    repair_wall = float("inf")
+    fresh_wall = float("inf")
+    repair_size = fresh_size = 0
+    region_total = 0
+    dynamic = service.dynamic_graph(graph_id)
+    for _ in range(repeats):
+        live = list(dynamic.live_vertices())
+        mutations = []
+        for _ in range(_SERVE_MUTATIONS_PER_ROUND):
+            u, v = rng.sample(live, 2)
+            kind = "remove_edge" if dynamic.has_edge(u, v) else "add_edge"
+            mutations.append(Mutation(kind, u, v))
+        service.apply(graph_id, mutations)
+
+        start = time.perf_counter()
+        repaired = service.solve(graph_id)
+        repair_wall = min(repair_wall, time.perf_counter() - start)
+        assert repaired.source == "repair", repaired.source
+        region_total += repaired.repair_scope["region"]
+
+        snapshot, _ = dynamic.snapshot()
+        fresh, round_fresh_wall = _best_of(
+            lambda: cold_solve(snapshot, "linear_time"), 1
+        )
+        fresh_wall = min(fresh_wall, round_fresh_wall)
+        repair_size = repaired.size
+        fresh_size = len(fresh.independent_set)
+        assert repaired.size >= 0.95 * fresh_size, (repaired.size, fresh_size)
+
+    return {
+        "cold_wall": cold_wall,
+        "warm_wall": warm_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else float("inf"),
+        "repair_wall": repair_wall,
+        "fresh_wall": fresh_wall,
+        "repair_speedup": (
+            fresh_wall / repair_wall if repair_wall > 0 else float("inf")
+        ),
+        "size": repair_size,
+        "fresh_size": fresh_size,
+        "first_size": first.size,
+        "rounds": repeats,
+        "mean_region": region_total / repeats,
+        "mutations_per_round": _SERVE_MUTATIONS_PER_ROUND,
+    }
+
+
 def _counter_timings(graph: Graph, calls: int = 20_000) -> Dict[str, float]:
     """Per-call cost (µs) of the maintained live counters vs. an O(n) scan."""
     workspace = FlatWorkspace(graph, track_degree_two=True)
@@ -267,6 +341,7 @@ def run_suite(suite: str, repeats: int) -> Dict[str, object]:
             arw_track = _time_arw_lt(graph, repeats)
             if arw_track is not None:
                 timings["ARW-LT"] = arw_track
+        timings["ServeIncremental"] = _time_serve_incremental(graph, repeats)
         report["timings"][gname] = timings
         kernel, _, _ = linear_time_reduce(graph)
         kernels = {"linear_time": {"n": kernel.n, "m": kernel.m}}
@@ -406,9 +481,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     for gname, timings in report["timings"].items():
         line = [gname]
         for alg, rec in timings.items():
-            part = f"{alg} flat {rec['flat_wall']:.4f}s ({rec['speedup']:.2f}x)"
-            if "scan_speedup" in rec:
-                part += f" scan {rec['scan_speedup']:.2f}x"
+            if "repair_wall" in rec:
+                part = (
+                    f"{alg} repair {rec['repair_wall']:.4f}s "
+                    f"({rec['repair_speedup']:.2f}x) warm {rec['warm_speedup']:.0f}x"
+                )
+            else:
+                part = f"{alg} flat {rec['flat_wall']:.4f}s ({rec['speedup']:.2f}x)"
+                if "scan_speedup" in rec:
+                    part += f" scan {rec['scan_speedup']:.2f}x"
             line.append(part)
         print("  ".join(line))
     print(f"report written to {args.out}")

@@ -1,0 +1,48 @@
+"""repro.serve — incremental solving service over the reducing-peeling core.
+
+The one-shot solvers answer "what is a near-maximum independent set of this
+graph?"; this package answers the production-shaped question "…and now the
+graph changed, again" without paying a cold solve per query:
+
+* :class:`~repro.serve.service.SolverService` — register graphs, query
+  repeatedly, mutate between queries;
+* :class:`~repro.serve.dynamic_graph.DynamicGraph` — the mutable front for
+  the immutable CSR :class:`~repro.graphs.static_graph.Graph`;
+* :class:`~repro.serve.cache.KernelCache` — bounded LRU of solved snapshots
+  keyed by :func:`~repro.serve.fingerprint.graph_fingerprint`;
+* :mod:`~repro.serve.repair` — localized repair of a solution around the
+  mutated region;
+* :mod:`~repro.serve.requests` — the JSONL request protocol behind
+  ``repro serve``;
+* :mod:`~repro.serve.smoke` — the CI smoke gauntlet
+  (``python -m repro.serve.smoke``).
+
+See ``docs/serving.md`` for the full tour.
+"""
+
+from .cache import CacheEntry, KernelCache
+from .dynamic_graph import MUTATION_KINDS, DynamicGraph, Mutation
+from .fingerprint import graph_fingerprint
+from .repair import RepairOutcome, cold_solve, patch_solution, repair_solution
+from .requests import handle_request, run_requests, serve_stream
+from .service import SNAPSHOT_VERSION, ServeResult, ServiceConfig, SolverService
+
+__all__ = [
+    "CacheEntry",
+    "DynamicGraph",
+    "KernelCache",
+    "MUTATION_KINDS",
+    "Mutation",
+    "RepairOutcome",
+    "SNAPSHOT_VERSION",
+    "ServeResult",
+    "ServiceConfig",
+    "SolverService",
+    "cold_solve",
+    "graph_fingerprint",
+    "handle_request",
+    "patch_solution",
+    "repair_solution",
+    "run_requests",
+    "serve_stream",
+]

@@ -1,0 +1,49 @@
+"""Stable graph fingerprints — the kernel cache's key space.
+
+The serving layer needs to recognise "the same graph" across repeated
+queries, across registered handles, and across snapshot/restore cycles
+without comparing ``2m + n`` integers per lookup.  The fingerprint is a
+SHA-256 digest over the compacted CSR buffers (offsets + targets) plus the
+vertex count, so
+
+* it is **canonical**: two :class:`~repro.graphs.static_graph.Graph`
+  instances compare equal iff their fingerprints match (the CSR layout is
+  itself canonical — rows sorted, ids compacted);
+* it is **cheap to recompute**: one pass over the flat buffers in C
+  (``hashlib`` over ``array.tobytes()``), no Python-level iteration;
+* it is **mutation-sensitive**: any edge or vertex change produces a new
+  snapshot and therefore a new digest, which is exactly the cache
+  invalidation the service wants.
+
+The digest covers raw buffer bytes, so it is stable across processes on
+the same platform (the ``array`` typecodes ``'q'``/``'i'`` are 8 and 4
+bytes on every CPython build the repo supports); snapshot restores verify
+fingerprints defensively rather than trusting them blindly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..graphs.static_graph import Graph
+
+__all__ = ["graph_fingerprint"]
+
+#: Domain separator, bumped if the hashed layout ever changes.
+_FINGERPRINT_TAG = b"repro-graph-fingerprint-v1"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Hex SHA-256 digest identifying ``graph`` structurally.
+
+    Equal graphs (same compacted CSR arrays) hash equal; any structural
+    difference — vertex count, edge set, even an isolated-vertex count —
+    changes the digest.
+    """
+    offsets, targets = graph.flat_csr()
+    digest = hashlib.sha256()
+    digest.update(_FINGERPRINT_TAG)
+    digest.update(graph.n.to_bytes(8, "little"))
+    digest.update(offsets.tobytes())
+    digest.update(targets.tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,167 @@
+"""The JSONL request protocol: one request object per line, one response out.
+
+``repro serve`` drives a :class:`~repro.serve.service.SolverService` from a
+JSON-lines stream — a file, a pipe, or stdin — which makes the service
+scriptable without a network stack and keeps request logs replayable.
+
+Request shapes (``op`` selects the verb, everything else is its payload)::
+
+    {"op": "register", "id": "g1", "path": "web.metis"}
+    {"op": "register", "id": "g2", "n": 5, "edges": [[0, 1], [1, 2]]}
+    {"op": "solve", "id": "g1", "timeout": 0.5}
+    {"op": "upper_bound", "id": "g1"}
+    {"op": "mutate", "id": "g1",
+     "mutations": [["add_edge", 3, 7], ["remove_vertex", 2], ["add_vertex"]]}
+    {"op": "add_edge", "id": "g1", "u": 3, "v": 7}     # and the other verbs
+    {"op": "stats"}
+    {"op": "save", "path": "service.snapshot.json"}
+
+Every response echoes ``op`` (and ``id`` when present), carries
+``"ok": true`` on success, and ``"ok": false`` plus ``"error"`` on
+failure — a bad request never tears down the service or the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO
+
+from ..errors import ReproError
+from ..graphs.static_graph import Graph
+from .dynamic_graph import Mutation
+from .service import ServeResult, SolverService
+
+__all__ = ["handle_request", "run_requests", "serve_stream"]
+
+
+def _load_request_graph(request: Dict[str, object]) -> Graph:
+    if "path" in request:
+        # Imported lazily: repro.cli imports this module's package via
+        # repro.__init__, and the reverse import at module load would cycle.
+        from ..cli import load_graph
+
+        graph, _ = load_graph(str(request["path"]))
+        return graph
+    if "edges" in request:
+        n = int(request.get("n", 0))  # type: ignore[arg-type]
+        edges = [(int(u), int(v)) for u, v in request["edges"]]  # type: ignore[union-attr]
+        size = max([n] + [max(u, v) + 1 for u, v in edges]) if edges else n
+        return Graph.from_edges(size, edges)
+    raise ReproError("register needs either 'path' or 'edges'")
+
+
+def _result_payload(result: ServeResult) -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "size": result.size,
+        "independent_set": sorted(result.independent_set),
+        "upper_bound": result.upper_bound,
+        "is_exact": result.is_exact,
+        "exact_bound": result.exact_bound,
+        "source": result.source,
+        "stale": result.stale,
+        "elapsed": result.elapsed,
+    }
+    if result.repair_scope:
+        payload["repair_scope"] = dict(result.repair_scope)
+    return payload
+
+
+def handle_request(
+    service: SolverService, request: Dict[str, object]
+) -> Dict[str, object]:
+    """Execute one request against ``service``; never raises for bad input."""
+    op = request.get("op")
+    response: Dict[str, object] = {"op": op, "ok": True}
+    if "id" in request:
+        response["id"] = request["id"]
+    try:
+        if op == "register":
+            graph = _load_request_graph(request)
+            graph_id = service.register(
+                graph,
+                graph_id=str(request["id"]) if "id" in request else None,
+            )
+            response["id"] = graph_id
+            response["n"] = graph.n
+            response["m"] = graph.m
+        elif op in ("solve", "upper_bound"):
+            graph_id = str(request["id"])
+            timeout = request.get("timeout")
+            timeout = None if timeout is None else float(timeout)  # type: ignore[arg-type]
+            if op == "solve":
+                response.update(_result_payload(service.solve(graph_id, timeout)))
+            else:
+                response["upper_bound"] = service.upper_bound(graph_id, timeout)
+        elif op == "mutate":
+            graph_id = str(request["id"])
+            mutations = [
+                Mutation.from_list(raw)  # type: ignore[arg-type]
+                for raw in request.get("mutations", [])  # type: ignore[union-attr]
+            ]
+            response["dirty"] = service.apply(graph_id, mutations)
+            response["mutations"] = len(mutations)
+        elif op == "add_edge":
+            service.add_edge(str(request["id"]), int(request["u"]), int(request["v"]))  # type: ignore[arg-type]
+        elif op == "remove_edge":
+            service.remove_edge(str(request["id"]), int(request["u"]), int(request["v"]))  # type: ignore[arg-type]
+        elif op == "add_vertex":
+            response["vertex"] = service.add_vertex(str(request["id"]))
+        elif op == "remove_vertex":
+            service.remove_vertex(str(request["id"]), int(request["v"]))  # type: ignore[arg-type]
+        elif op == "unregister":
+            service.unregister(str(request["id"]))
+        elif op == "stats":
+            response["counters"] = service.counters()
+        elif op == "save":
+            path = str(request["path"])
+            service.save(path)
+            response["path"] = path
+        else:
+            raise ReproError(
+                f"unknown op {op!r}; see repro.serve.requests for the protocol"
+            )
+    except (ReproError, KeyError, TypeError, ValueError, OSError) as exc:
+        response["ok"] = False
+        response["error"] = f"{type(exc).__name__}: {exc}"
+    return response
+
+
+def run_requests(
+    service: SolverService, requests: Iterable[Dict[str, object]]
+) -> Iterator[Dict[str, object]]:
+    """Lazily map a request stream to responses (one per request)."""
+    for request in requests:
+        yield handle_request(service, request)
+
+
+def serve_stream(
+    service: SolverService,
+    source: Iterable[str],
+    sink: TextIO,
+    errors: Optional[List[str]] = None,
+) -> int:
+    """Drive ``service`` from JSONL ``source`` lines, writing responses to
+    ``sink``.  Returns the number of failed requests (malformed lines count
+    as failures and are reported on the stream like any other error).
+    """
+    failed = 0
+    for line in source:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response: Dict[str, object] = {
+                "op": None,
+                "ok": False,
+                "error": f"JSONDecodeError: {exc}",
+            }
+        else:
+            response = handle_request(service, request)
+        if not response.get("ok"):
+            failed += 1
+            if errors is not None:
+                errors.append(str(response.get("error")))
+        sink.write(json.dumps(response, sort_keys=True) + "\n")
+    return failed

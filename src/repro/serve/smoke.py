@@ -1,0 +1,162 @@
+"""End-to-end smoke check for the serving layer (CI entry point).
+
+``python -m repro.serve.smoke`` registers a seeded power-law graph, streams
+a seeded mutation workload through the service (edge churn plus vertex
+births and deaths), and after every batch:
+
+* queries the service and a cold solver on the same snapshot,
+* asserts the served solution is independent and maximal
+  (:func:`repro.analysis.assert_valid_solution`), and
+* asserts its size stays within the differential tolerance of the cold
+  answer.
+
+A final pass round-trips the service through :meth:`SolverService.save` /
+:meth:`SolverService.load` and re-queries, so snapshot persistence is part
+of the smoke surface.  Exit code 0 means every gate held.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import tempfile
+from typing import List, Optional
+
+from ..analysis import assert_valid_solution
+from ..graphs.generators import power_law_graph
+from .dynamic_graph import DynamicGraph, Mutation
+from .repair import cold_solve
+from .service import ServiceConfig, SolverService
+
+__all__ = ["main", "run_smoke"]
+
+#: Served size must stay within this fraction of the cold-solve size —
+#: the same tolerance the differential/bench layers use for heuristics.
+SIZE_TOLERANCE = 0.95
+
+
+def _random_mutations(
+    rng: random.Random, dynamic: DynamicGraph, count: int
+) -> List[Mutation]:
+    mutations: List[Mutation] = []
+    for _ in range(count):
+        live = [v for v in dynamic.live_vertices()]
+        roll = rng.random()
+        if roll < 0.40 and len(live) >= 2:
+            u, v = rng.sample(live, 2)
+            mutations.append(Mutation("add_edge", u, v))
+            # Keep the driver honest: apply as we go so later picks see
+            # the intermediate state (ids die, newcomers become eligible).
+            dynamic.add_edge(u, v)
+        elif roll < 0.70 and dynamic.m > 0:
+            u = rng.choice([v for v in live if dynamic.degree(v) > 0])
+            v = rng.choice(dynamic.neighbors(u))
+            mutations.append(Mutation("remove_edge", u, v))
+            dynamic.remove_edge(u, v)
+        elif roll < 0.85 and len(live) > 2:
+            u = rng.choice(live)
+            mutations.append(Mutation("remove_vertex", u))
+            dynamic.remove_vertex(u)
+        else:
+            mutations.append(Mutation("add_vertex"))
+            dynamic.add_vertex()
+    return mutations
+
+
+def run_smoke(
+    n: int = 2_000,
+    mutations: int = 100,
+    batch: int = 10,
+    seed: int = 7,
+    algorithm: str = "linear_time",
+    verbose: bool = True,
+) -> int:
+    """Run the register → mutate → query gauntlet; returns failures."""
+    rng = random.Random(seed)
+    graph = power_law_graph(n, beta=2.2, seed=seed)
+    service = SolverService(ServiceConfig(algorithm=algorithm))
+    # A shadow dynamic graph drives mutation *generation*; the generated
+    # batch is then applied to the service through its public API.
+    shadow = DynamicGraph(graph)
+    graph_id = service.register(graph)
+
+    first = service.solve(graph_id)
+    failures = 0
+    applied = 0
+    while applied < mutations:
+        step = min(batch, mutations - applied)
+        batch_mutations = _random_mutations(rng, shadow, step)
+        service.apply(graph_id, batch_mutations)
+        applied += step
+
+        result = service.solve(graph_id)
+        snapshot, old_ids = service.dynamic_graph(graph_id).snapshot()
+        compact = {old: new for new, old in enumerate(old_ids)}
+        served = {compact[v] for v in result.independent_set}
+        assert_valid_solution(snapshot, served)
+
+        cold = cold_solve(snapshot, algorithm)
+        ok = result.size >= SIZE_TOLERANCE * cold.size
+        if not ok:
+            failures += 1
+        if verbose:
+            flag = "ok " if ok else "FAIL"
+            print(
+                f"[{flag}] mutations={applied:4d} source={result.source:6s} "
+                f"served={result.size} cold={cold.size} "
+                f"scope={result.repair_scope or '-'}"
+            )
+
+    # Persistence leg: snapshot, restore, and re-query the restored copy.
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", delete=False
+    ) as handle:
+        path = handle.name
+    service.save(path)
+    restored = SolverService.load(path)
+    replay = restored.solve(graph_id)
+    snapshot, old_ids = restored.dynamic_graph(graph_id).snapshot()
+    compact = {old: new for new, old in enumerate(old_ids)}
+    assert_valid_solution(snapshot, {compact[v] for v in replay.independent_set})
+    if replay.size != service.solve(graph_id).size:
+        failures += 1
+        if verbose:
+            print(f"[FAIL] restore size drift: {replay.size}")
+    if verbose:
+        counters = service.counters()
+        print(
+            f"# smoke: first solve |I|={first.size}, {applied} mutations, "
+            f"{failures} failures"
+        )
+        print(f"# cache: {counters['cache']}")
+        print(f"# events: {counters['events']}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI shim: ``python -m repro.serve.smoke [--n ...] [--mutations ...]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.smoke",
+        description="serve-layer smoke gauntlet (register / mutate / query)",
+    )
+    parser.add_argument("--n", type=int, default=2_000)
+    parser.add_argument("--mutations", type=int, default=100)
+    parser.add_argument("--batch", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--algorithm", default="linear_time")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    failures = run_smoke(
+        n=args.n,
+        mutations=args.mutations,
+        batch=args.batch,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        verbose=not args.quiet,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -223,3 +223,109 @@ class TestEmptyLog:
         in_set, peeled = DecisionLog().resolve(3)
         assert in_set == [False, False, False]
         assert peeled == []
+
+
+class TestInterleavedFoldPath:
+    """FOLD and PATH entries interleaved across the log.
+
+    Replay walks the log *backwards*, so a later fold can decide the
+    blockers of an earlier path entry and vice versa.  These scenarios pin
+    that dependency order down — they are the cases localized repair
+    replays when a mutated component's kernel log mixes both rule kinds.
+    """
+
+    def test_fold_then_path_sharing_the_supervertex(self):
+        # Path entry blocked by supervertex w=2; the fold resolves first
+        # (it is later in the log) and decides whether 2 is in.
+        log = DecisionLog()
+        log.fold(0, 1, 2)        # earlier fold: u=0 v=1 w=2
+        log.push_path(3, 2, 4)   # later path entry, blocker 2
+        log.include(2)           # kernel put the supervertex in
+        in_set, _ = log.resolve(5)
+        # Backwards: path first — blocker 2 in → 3 stays out; then fold
+        # routes the supervertex to v=1.
+        assert in_set[1] and in_set[2]
+        assert not in_set[0] and not in_set[3]
+
+    def test_path_then_fold_where_fold_decides_blocker(self):
+        # The path entry is *earlier*, so on the backwards walk the fold
+        # resolves first and its outcome (u=1 joins) blocks the path vertex.
+        log = DecisionLog()
+        log.push_path(0, 1, 2)
+        log.fold(1, 3, 4)        # supervertex w=4 stays out → u=1 joins
+        in_set, _ = log.resolve(5)
+        assert in_set[1]
+        assert not in_set[0]     # blocker 1 in → path vertex out
+
+    def test_path_resolved_before_earlier_fold_sees_it(self):
+        # Backwards order: PATH (latest) → FOLD.  The path vertex joins
+        # (both blockers out) and then the fold reads that fresh decision:
+        # its supervertex w=0 is now in, so v=2 joins instead of u=1.
+        log = DecisionLog()
+        log.fold(1, 2, 0)
+        log.push_path(0, 3, 4)
+        in_set, _ = log.resolve(5)
+        assert in_set[0]         # path: blockers 3, 4 both out
+        assert in_set[2]         # fold saw w=0 in → v joins
+        assert not in_set[1]
+
+    def test_alternating_chain_of_folds_and_paths(self):
+        # fold(0,1,2) … path(3 | 2,4) … fold(4,5,6) … path(7 | 6,8),
+        # resolved strictly backwards: 7 joins (6, 8 out) → fold picks
+        # u=4 (w=6 out) → path 3 blocked by 4?  No: blockers are 2 and 4,
+        # 4 is now in → 3 stays out → fold picks v?  w=2 out → u=0 joins.
+        log = DecisionLog()
+        log.fold(0, 1, 2)
+        log.push_path(3, 2, 4)
+        log.fold(4, 5, 6)
+        log.push_path(7, 6, 8)
+        in_set, _ = log.resolve(9)
+        assert in_set[7]
+        assert in_set[4]
+        assert not in_set[3]
+        assert in_set[0]
+        assert not in_set[1] and not in_set[5]
+
+    def test_interleaved_log_on_mutated_component_subgraph(self):
+        # End-to-end: kernelize a component, mutate a *different* part of
+        # the graph, and replay the old log mapped onto the snapshot — the
+        # deferred decisions must still resolve to a valid independent set
+        # on the untouched component.
+        from repro.analysis import assert_valid_solution
+        from repro.core.near_linear import near_linear
+        from repro.graphs import disjoint_union
+        from repro.graphs.generators import gnm_random_graph
+        from repro.serve import DynamicGraph
+
+        component_a = gnm_random_graph(40, 90, seed=21)
+        component_b = cycle_graph(9)
+        union = disjoint_union([component_a, component_b])
+        dynamic = DynamicGraph(union)
+        # Mutate only inside component B's id range (40..48).
+        dynamic.add_edge(40, 44)
+        dynamic.remove_edge(41, 42)
+        snapshot, old_ids = dynamic.snapshot()
+        assert old_ids == list(range(union.n))  # no removals: ids align
+        # Component A was untouched: its sub-solution replays cleanly on
+        # the mutated snapshot.
+        result = near_linear(component_a)
+        survivors = set(result.independent_set)
+        in_set = [v in survivors for v in range(snapshot.n)]
+        for v in range(40, snapshot.n):
+            assert not in_set[v]
+        extend_to_maximal(in_set, snapshot)
+        assert_valid_solution(snapshot, [v for v in range(snapshot.n) if in_set[v]])
+
+    def test_payload_round_trip_preserves_interleaved_order(self):
+        log = DecisionLog()
+        log.include(9)
+        log.fold(0, 1, 2)
+        log.push_path(3, 2, 4)
+        log.peel(5)
+        log.fold(4, 5, 6)
+        log.push_path(7, 6, 8)
+        log.bump("degree-two-fold", 2)
+        restored = DecisionLog.from_payload(log.to_payload())
+        assert restored.entries == log.entries
+        assert restored.stats == log.stats
+        assert restored.resolve(10) == log.resolve(10)

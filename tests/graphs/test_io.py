@@ -112,3 +112,80 @@ class TestDimacs:
     def test_out_of_range_edge_raises(self):
         with pytest.raises(GraphFormatError):
             read_dimacs(io.StringIO("p edge 2 1\ne 1 5\n"))
+
+
+class TestEdgeListDeclaredCount:
+    """The ``n=N`` header declares a vertex *count*, not the label range.
+
+    A 1-indexed or sparse-label edge list whose header says ``n=N`` must
+    read back with exactly ``N`` vertices — historically the header
+    injected labels ``0 .. N-1`` unconditionally, so such files grew
+    phantom vertices on every read→write→read cycle.
+    """
+
+    def test_one_indexed_file_keeps_declared_count(self):
+        # Labels {1..5} with n=5: no phantom vertex 0.
+        text = "# repro graph: n=5 m=4\n1 2\n2 3\n3 4\n4 5\n"
+        g, labels = read_edge_list(io.StringIO(text))
+        assert g.n == 5
+        assert labels == [1, 2, 3, 4, 5]
+
+    def test_sparse_labels_padded_with_smallest_unused(self):
+        g, labels = read_edge_list(io.StringIO("# repro graph: n=5 m=1\n10 20\n"))
+        assert g.n == 5
+        assert labels == [0, 1, 2, 10, 20]
+        assert g.degree(labels.index(10)) == 1
+
+    def test_zero_indexed_behaviour_unchanged(self):
+        g, labels = read_edge_list(io.StringIO("# repro graph: n=5 m=1\n0 1\n"))
+        assert g.n == 5
+        assert labels == [0, 1, 2, 3, 4]
+
+    def test_header_smaller_than_label_set_is_ignored(self):
+        g, labels = read_edge_list(io.StringIO("# repro graph: n=2 m=3\n0 1\n1 2\n2 3\n"))
+        assert g.n == 4
+
+    def test_one_indexed_round_trip_is_stable(self):
+        text = "# repro graph: n=5 m=4\n1 2\n2 3\n3 4\n4 5\n"
+        first, _ = read_edge_list(io.StringIO(text))
+        second = loads_edge_list(dumps_edge_list(first))
+        third = loads_edge_list(dumps_edge_list(second))
+        assert first == second == third
+        assert first.n == 5
+
+    def test_isolated_vertices_round_trip_repeatedly(self):
+        g = Graph.from_edges(6, [(0, 1), (3, 4)])  # 2 and 5 isolated
+        for _ in range(3):
+            g = loads_edge_list(dumps_edge_list(g))
+        assert g.n == 6
+        assert g.degree(2) == 0 and g.degree(5) == 0
+
+
+class TestMetisRoundTripWithComments:
+    def test_comment_lines_survive_round_trip(self, tmp_path):
+        # METIS comments before and inside the body are dropped on read;
+        # writing and re-reading must reproduce the same graph.
+        text = "% generated fixture\n5 4\n2\n% mid-body comment\n1 3\n2 4\n3 5\n4\n"
+        first = read_metis(io.StringIO(text))
+        assert first.n == 5 and first.m == 4
+        path = tmp_path / "roundtrip.metis"
+        write_metis(first, str(path))
+        second = read_metis(str(path))
+        assert second == first
+        third_buffer = io.StringIO()
+        write_metis(second, third_buffer)
+        assert read_metis(io.StringIO(third_buffer.getvalue())) == second
+
+    def test_one_indexing_is_symmetric(self):
+        # write_metis emits 1-indexed neighbours; read_metis subtracts 1.
+        g = Graph.from_edges(3, [(0, 2)])
+        buffer = io.StringIO()
+        write_metis(g, buffer)
+        assert buffer.getvalue().splitlines() == ["3 1", "3", "", "1"]
+        assert read_metis(io.StringIO(buffer.getvalue())) == g
+
+    def test_blank_adjacency_lines_round_trip(self, tmp_path):
+        g = Graph.from_edges(4, [(1, 2)])  # vertices 0 and 3 isolated
+        path = tmp_path / "isolated.metis"
+        write_metis(g, str(path))
+        assert read_metis(str(path)) == g

@@ -49,10 +49,15 @@ def test_gated_tracks_cover_all_flat_backends():
         "linear_time",
         "near_linear",
         "arw_lt",
+        "serve_incremental",
     }
-    for record, field in bench_regression.GATED_TRACKS.values():
-        assert field == "flat_wall"
-        assert record in {"LinearTime", "NearLinear", "ARW-LT"}
+    for track, (record, field) in bench_regression.GATED_TRACKS.items():
+        if track == "serve_incremental":
+            assert record == "ServeIncremental"
+            assert field == "repair_wall"
+        else:
+            assert field == "flat_wall"
+            assert record in {"LinearTime", "NearLinear", "ARW-LT"}
 
 
 def test_compare_self_passes(tmp_path):
@@ -66,13 +71,12 @@ def test_compare_self_passes(tmp_path):
 def test_compare_detects_regression_per_track():
     # Synthetic reports: tampering any single gated track must trip the
     # gate, and the failure message must name that track.
-    base_rec = {"flat_wall": 1.0, "oracle_wall": 2.0, "speedup": 2.0}
     baseline = {
         "suite": "synthetic",
         "timings": {
             "g": {
-                record: dict(base_rec)
-                for record, _ in bench_regression.GATED_TRACKS.values()
+                record: {field: 1.0, "oracle_wall": 2.0}
+                for record, field in bench_regression.GATED_TRACKS.values()
             }
         },
     }
@@ -216,3 +220,20 @@ def test_telemetry_off_keeps_report_schema_clean(tmp_path):
     out = tmp_path / "report.json"
     assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
     assert "telemetry" not in json.loads(out.read_text())
+
+
+def test_smoke_suite_serve_incremental_track(tmp_path):
+    # Every suite graph carries the serving-layer track: warm-cache query
+    # latency plus repair-vs-fresh on seeded mutation rounds.
+    out = tmp_path / "report.json"
+    assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
+    report = json.loads(out.read_text())
+    for gname in report["graphs"]:
+        rec = report["timings"][gname]["ServeIncremental"]
+        assert rec["cold_wall"] > 0
+        assert rec["warm_wall"] > 0
+        assert rec["warm_speedup"] > 1.0  # a cache hit must beat a solve
+        assert rec["repair_wall"] > 0
+        assert rec["fresh_wall"] > 0
+        assert rec["size"] >= 0.95 * rec["fresh_size"]
+        assert rec["mutations_per_round"] == bench_regression._SERVE_MUTATIONS_PER_ROUND

@@ -1,0 +1,166 @@
+"""The JSONL request protocol: dispatch, error isolation, streaming."""
+
+import io
+import json
+
+from repro.serve import SolverService, handle_request, run_requests, serve_stream
+
+
+def _service():
+    return SolverService()
+
+
+def _register(service, graph_id="g"):
+    return handle_request(
+        service,
+        {
+            "op": "register",
+            "id": graph_id,
+            "n": 6,
+            "edges": [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]],
+        },
+    )
+
+
+class TestDispatch:
+    def test_register_inline_edges(self):
+        response = _register(_service())
+        assert response["ok"]
+        assert response["n"] == 6
+        assert response["m"] == 5
+
+    def test_register_from_file(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n")
+        response = handle_request(
+            _service(), {"op": "register", "path": str(path)}
+        )
+        assert response["ok"]
+        assert response["n"] == 3
+
+    def test_solve_round_trip(self):
+        service = _service()
+        _register(service)
+        response = handle_request(service, {"op": "solve", "id": "g"})
+        assert response["ok"]
+        assert response["size"] == 3
+        assert sorted(response["independent_set"]) == response["independent_set"]
+        assert len(response["independent_set"]) == 3
+        assert response["source"] == "cold"
+
+    def test_mutate_then_solve(self):
+        service = _service()
+        _register(service)
+        handle_request(service, {"op": "solve", "id": "g"})
+        response = handle_request(
+            service,
+            {"op": "mutate", "id": "g", "mutations": [["remove_edge", 2, 3]]},
+        )
+        assert response["ok"]
+        assert response["dirty"] == 2
+        solved = handle_request(service, {"op": "solve", "id": "g"})
+        assert solved["ok"]
+        assert solved["size"] >= 3
+
+    def test_vertex_ops(self):
+        service = _service()
+        _register(service)
+        added = handle_request(service, {"op": "add_vertex", "id": "g"})
+        assert added["ok"] and added["vertex"] == 6
+        removed = handle_request(
+            service, {"op": "remove_vertex", "id": "g", "v": 6}
+        )
+        assert removed["ok"]
+
+    def test_upper_bound(self):
+        service = _service()
+        _register(service)
+        response = handle_request(service, {"op": "upper_bound", "id": "g"})
+        assert response["ok"]
+        assert response["upper_bound"] == 3
+
+    def test_stats_and_save(self, tmp_path):
+        service = _service()
+        _register(service)
+        handle_request(service, {"op": "solve", "id": "g"})
+        stats = handle_request(service, {"op": "stats"})
+        assert stats["ok"]
+        assert stats["counters"]["graphs"] == 1
+        path = tmp_path / "snap.json"
+        saved = handle_request(service, {"op": "save", "path": str(path)})
+        assert saved["ok"]
+        restored = SolverService.load(str(path))
+        assert restored.graph_ids() == ["g"]
+
+
+class TestErrorIsolation:
+    def test_unknown_op(self):
+        response = handle_request(_service(), {"op": "bogus"})
+        assert not response["ok"]
+        assert "unknown op" in response["error"]
+
+    def test_unknown_graph_id(self):
+        response = handle_request(_service(), {"op": "solve", "id": "nope"})
+        assert not response["ok"]
+        assert "unknown graph id" in response["error"]
+
+    def test_register_without_graph_payload(self):
+        response = handle_request(_service(), {"op": "register", "id": "g"})
+        assert not response["ok"]
+
+    def test_malformed_mutation(self):
+        service = _service()
+        _register(service)
+        response = handle_request(
+            service, {"op": "mutate", "id": "g", "mutations": [["warp", 1]]}
+        )
+        assert not response["ok"]
+
+    def test_error_does_not_poison_service(self):
+        service = _service()
+        _register(service)
+        handle_request(service, {"op": "bogus"})
+        response = handle_request(service, {"op": "solve", "id": "g"})
+        assert response["ok"]
+
+
+class TestStreaming:
+    def test_run_requests_is_lazy_and_ordered(self):
+        service = _service()
+        responses = list(
+            run_requests(
+                service,
+                [
+                    {
+                        "op": "register",
+                        "id": "g",
+                        "n": 3,
+                        "edges": [[0, 1], [1, 2]],
+                    },
+                    {"op": "solve", "id": "g"},
+                ],
+            )
+        )
+        assert [r["op"] for r in responses] == ["register", "solve"]
+        assert responses[1]["size"] == 2
+
+    def test_serve_stream_counts_failures_and_skips_comments(self):
+        service = _service()
+        source = [
+            json.dumps({"op": "register", "id": "g", "n": 2, "edges": [[0, 1]]}),
+            "# a comment line",
+            "",
+            "not json at all {",
+            json.dumps({"op": "solve", "id": "g"}),
+            json.dumps({"op": "solve", "id": "missing"}),
+        ]
+        sink = io.StringIO()
+        errors = []
+        failed = serve_stream(service, source, sink, errors=errors)
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert failed == 2
+        assert len(errors) == 2
+        assert len(lines) == 4  # comments/blank lines produce no response
+        assert lines[0]["ok"] and lines[2]["ok"]
+        assert not lines[1]["ok"] and "JSONDecodeError" in lines[1]["error"]
+        assert not lines[3]["ok"]

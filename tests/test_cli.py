@@ -176,3 +176,103 @@ class TestTelemetryFlags:
     def test_obs_report_missing_file_is_an_error(self, tmp_path, capsys):
         assert main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_session_round_trip(self, metis_file, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        state = tmp_path / "state.json"
+        requests.write_text(
+            "\n".join(
+                [
+                    '{"op": "register", "id": "g", "path": "%s"}' % metis_file,
+                    '{"op": "solve", "id": "g"}',
+                    '{"op": "mutate", "id": "g", "mutations": [["add_edge", 0, 4]]}',
+                    '{"op": "solve", "id": "g"}',
+                    '{"op": "upper_bound", "id": "g"}',
+                    '{"op": "stats"}',
+                ]
+            )
+            + "\n"
+        )
+        assert (
+            main(["serve", str(requests), "--snapshot", str(state)]) == 0
+        )
+        import json
+
+        lines = [
+            json.loads(ln)
+            for ln in capsys.readouterr().out.splitlines()
+            if ln.strip()
+        ]
+        assert all(resp["ok"] for resp in lines)
+        sources = [resp.get("source") for resp in lines if resp["op"] == "solve"]
+        assert sources[0] == "cold"
+        assert sources[1] in ("repair", "cold")
+        assert state.exists()
+
+    def test_serve_restore_reuses_state(self, metis_file, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        first = tmp_path / "first.jsonl"
+        first.write_text(
+            '{"op": "register", "id": "g", "path": "%s"}\n'
+            '{"op": "solve", "id": "g"}\n' % metis_file
+        )
+        assert main(["serve", str(first), "--snapshot", str(state)]) == 0
+        capsys.readouterr()
+        second = tmp_path / "second.jsonl"
+        second.write_text('{"op": "solve", "id": "g"}\n')
+        assert main(["serve", str(second), "--restore", str(state)]) == 0
+        import json
+
+        resp = json.loads(capsys.readouterr().out.strip())
+        assert resp["ok"] and resp["source"] == "cache"
+
+    def test_serve_failed_request_sets_exit_code(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"op": "solve", "id": "missing"}\n')
+        assert main(["serve", str(requests)]) == 1
+        out = capsys.readouterr().out
+        assert '"ok": false' in out
+
+    def test_serve_writes_output_file(self, metis_file, tmp_path):
+        requests = tmp_path / "requests.jsonl"
+        responses = tmp_path / "responses.jsonl"
+        requests.write_text(
+            '{"op": "register", "id": "g", "path": "%s"}\n'
+            '{"op": "solve", "id": "g"}\n' % metis_file
+        )
+        assert (
+            main(["serve", str(requests), "--output", str(responses)]) == 0
+        )
+        assert len(responses.read_text().splitlines()) == 2
+
+    def test_snapshot_summary_and_verify(self, metis_file, tmp_path, capsys):
+        state = tmp_path / "state.json"
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"op": "register", "id": "g", "path": "%s"}\n'
+            '{"op": "solve", "id": "g"}\n' % metis_file
+        )
+        assert main(["serve", str(requests), "--snapshot", str(state)]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", str(state), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "graphs" in out and "g: n=8" in out
+        assert "fingerprints match" in out
+
+    def test_snapshot_corrupt_file_fails_verify(self, metis_file, tmp_path, capsys):
+        import json
+
+        state = tmp_path / "state.json"
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text(
+            '{"op": "register", "id": "g", "path": "%s"}\n' % metis_file
+        )
+        assert main(["serve", str(requests), "--snapshot", str(state)]) == 0
+        payload = json.loads(state.read_text())
+        payload["graphs"]["g"]["dynamic"]["edges"].pop()
+        state.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["snapshot", str(state), "--verify"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -12,6 +12,8 @@ Five subcommands cover the library's everyday uses:
   prints a JSON-lines telemetry trace);
 * ``serve``     — drive the incremental solving service from a JSONL
   request stream (see :mod:`repro.serve.requests` for the protocol);
+* ``bench``     — run the perf-regression suite with backend selection
+  (``--backend {legacy,flat,vectorized,all}``);
 * ``snapshot``  — summarize a service snapshot written by ``serve
   --snapshot`` or :meth:`repro.serve.SolverService.save`.
 
@@ -27,7 +29,7 @@ from typing import List, Optional, Tuple
 
 from .analysis import complement_vertex_cover
 from .baselines import du, greedy, online_mis, redumis, semi_external
-from .core import ALGORITHMS, compute_independent_set, kernelize
+from .core import ALGORITHMS, KERNEL_METHODS, compute_independent_set, kernelize
 from .errors import ReproError
 from .graphs import (
     Graph,
@@ -275,6 +277,20 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench_regression import main as bench_main
+
+    argv = ["--suite", args.suite, "--backend", args.backend, "--out", args.out]
+    argv.extend(["--repeats", str(args.repeats)])
+    argv.extend(["--max-regression", str(args.max_regression)])
+    if args.compare:
+        argv.extend(["--compare", args.compare])
+    if args.telemetry:
+        argv.append("--telemetry")
+        argv.extend(["--telemetry-out", args.telemetry_out])
+    return bench_main(argv)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run as lint_run
 
@@ -328,7 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     kernel.add_argument(
         "--method",
         default="near_linear",
-        choices=["degree_one", "linear_time", "near_linear"],
+        choices=sorted(KERNEL_METHODS),
     )
     kernel.add_argument("--output", help="write the kernel graph to this file")
     kernel.set_defaults(handler=_cmd_kernelize)
@@ -364,8 +380,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--algorithm",
         default="linear_time",
-        choices=["bdone", "linear_time", "near_linear"],
-        help="solver used for cold solves and repairs (default linear_time)",
+        choices=[
+            "bdone",
+            "linear_time",
+            "near_linear",
+            "bdone_vec",
+            "linear_time_vec",
+            "near_linear_vec",
+        ],
+        help="solver used for cold solves and repairs (default linear_time; "
+        "the _vec variants run the vectorized frontier-sweep backend)",
     )
     serve.add_argument("--cache-capacity", type=int, default=64)
     serve.add_argument(
@@ -399,6 +423,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     snapshot.set_defaults(handler=_cmd_snapshot)
 
+    bench = commands.add_parser(
+        "bench", help="run the perf-regression suite (repro.perf.bench_regression)"
+    )
+    bench.add_argument(
+        "--suite",
+        default="quick",
+        choices=["smoke", "quick", "full"],
+        help="graph suite to run (default quick)",
+    )
+    bench.add_argument(
+        "--backend",
+        default="all",
+        choices=["legacy", "flat", "vectorized", "all"],
+        help="which backend tracks to time: the classic flat-vs-legacy "
+        "tracks, the vectorized rounds backend, or everything (default all)",
+    )
+    bench.add_argument("--out", default="bench_report.json", help="report path")
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE", help="baseline JSON to gate against"
+    )
+    bench.add_argument("--max-regression", type=float, default=2.0)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--telemetry", action="store_true", help="collect a phase-span trace"
+    )
+    bench.add_argument("--telemetry-out", default="bench_telemetry.jsonl")
+    bench.set_defaults(handler=_cmd_bench)
+
     lint = commands.add_parser(
         "lint", help="run reprolint, the repo's contract checker"
     )
@@ -420,3 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+if __name__ == "__main__":  # pragma: no cover — ``python -m repro.cli``
+    sys.exit(main())

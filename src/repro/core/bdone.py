@@ -28,6 +28,7 @@ from ..graphs.static_graph import Graph
 from .hotpath import hot_loop
 from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, PEEL
+from .vectorized import VecWorkspace, drive_bdone_vec
 from .workspace import FlatWorkspace
 from ..obs.instrument import finish_profile, instrumented_factory, traced_replay
 from ..obs.telemetry import get_telemetry, phase
@@ -150,13 +151,17 @@ def bdone(
     start = time.perf_counter()
     telemetry = get_telemetry()  # one global check per run
     factory = FlatWorkspace if workspace_factory is None else workspace_factory
-    if telemetry is not None:
+    if telemetry is not None and factory is not VecWorkspace:
+        # Vectorized runs are observed per sweep (``vec-sweep`` spans), not
+        # per mutation event — see repro.core.vectorized.
         factory = instrumented_factory(factory, telemetry, "BDOne", graph.name)
     with phase(telemetry, "setup", algorithm="BDOne", graph=graph.name):
         workspace = factory(graph, track_degree_two=False)
     with phase(telemetry, "reduce", algorithm="BDOne", graph=graph.name) as span:
         if type(workspace) is FlatWorkspace:
             _run_flat(workspace)
+        elif type(workspace) is VecWorkspace:
+            drive_bdone_vec(workspace)
         else:
             _run_generic(workspace)
         span.meta["counters"] = dict(workspace.log.stats)

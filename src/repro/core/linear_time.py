@@ -31,6 +31,7 @@ from .hotpath import hot_loop
 from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, PEEL, DecisionLog
+from .vectorized import VecWorkspace, drive_linear_time_vec
 from .workspace import FlatWorkspace
 from ..obs.instrument import finish_profile, instrumented_factory, traced_replay
 from ..obs.telemetry import get_telemetry, phase
@@ -194,6 +195,8 @@ def _run(workspace: Any, stop_before_peel: bool) -> bool:
     """Dispatch to the specialized or the generic reduction loop."""
     if type(workspace) is FlatWorkspace:
         return _reduce_flat(workspace, stop_before_peel)
+    if type(workspace) is VecWorkspace:
+        return drive_linear_time_vec(workspace, stop_before_peel)
     return _reduce(workspace, stop_before_peel)
 
 
@@ -211,7 +214,11 @@ def linear_time(
     start = time.perf_counter()
     telemetry = get_telemetry()  # one global check per run
     factory = FlatWorkspace if workspace_factory is None else workspace_factory
-    if telemetry is not None:
+    if telemetry is not None and factory is not VecWorkspace:
+        # The vectorized backend is observed at sweep granularity (one
+        # ``vec-sweep`` span per batch, with round counters) instead of
+        # per-event profile ticks, which would force it onto the scalar
+        # generic loop.
         factory = instrumented_factory(factory, telemetry, "LinearTime", graph.name)
     with phase(telemetry, "setup", algorithm="LinearTime", graph=graph.name):
         workspace = factory(graph, track_degree_two=True)
@@ -250,7 +257,7 @@ def linear_time_reduce(
     """
     telemetry = get_telemetry()
     factory = FlatWorkspace if workspace_factory is None else workspace_factory
-    if telemetry is not None:
+    if telemetry is not None and factory is not VecWorkspace:
         factory = instrumented_factory(
             factory, telemetry, "LinearTime-reduce", graph.name
         )

@@ -97,6 +97,7 @@ def _preprocess(
     preprocess: bool,
     flat: bool = True,
     telemetry: Any = None,
+    sweep: Optional[Callable[[Graph], List[int]]] = None,
 ) -> Tuple[Graph, List[int]]:
     """Phases 1–2: one-pass dominance, then the LP reduction.
 
@@ -104,15 +105,19 @@ def _preprocess(
     and its id map.  ``flat`` picks the stamp-based sweep over the
     set-based oracle — both produce the identical removed list (the
     differential suite asserts it), so this only changes the constant.
-    ``telemetry`` wraps the two phases in ``dominance-sweep`` /
-    ``lp-kernel`` spans when a sink is active.
+    ``sweep`` overrides the phase-1 sweep entirely (the vectorized backend
+    passes :func:`~repro.core.vectorized.vectorized_one_pass_dominance`,
+    which again returns the identical removed list).  ``telemetry`` wraps
+    the two phases in ``dominance-sweep`` / ``lp-kernel`` spans when a
+    sink is active.
     """
     if not preprocess:
         return graph, list(range(graph.n))
     with phase(
         telemetry, "dominance-sweep", algorithm="NearLinear", graph=graph.name
     ) as span:
-        sweep = flat_one_pass_dominance if flat else one_pass_dominance
+        if sweep is None:
+            sweep = flat_one_pass_dominance if flat else one_pass_dominance
         dominated = sweep(graph)
         # Bulk-append the phase decisions (one entry per vertex; a method
         # call per decision is measurable — phases 1–2 settle most vertices).
@@ -143,6 +148,7 @@ def near_linear(
     graph: Graph,
     preprocess: bool = True,
     workspace_factory: Optional[Callable[..., object]] = None,
+    sweep: Optional[Callable[[Graph], List[int]]] = None,
 ) -> MISResult:
     """Compute a maximal independent set of ``graph`` with NearLinear.
 
@@ -153,7 +159,8 @@ def near_linear(
     the replacement must implement the dominance protocol — pass
     :class:`~repro.core.dominance.TriangleWorkspace` to pin the
     list-of-dicts oracle, as the differential tests do).  Both backends
-    produce byte-identical decision logs.
+    produce byte-identical decision logs.  ``sweep`` overrides the phase-1
+    dominance sweep (see :func:`_preprocess`).
     """
     start = time.perf_counter()
     telemetry = get_telemetry()  # one global check per run
@@ -161,7 +168,7 @@ def near_linear(
     factory = FlatTriangleWorkspace if workspace_factory is None else workspace_factory
     residual, ids = _preprocess(
         graph, log, preprocess, flat=factory is not TriangleWorkspace,
-        telemetry=telemetry,
+        telemetry=telemetry, sweep=sweep,
     )
     if telemetry is not None:
         factory = instrumented_factory(factory, telemetry, "NearLinear", graph.name)
@@ -194,20 +201,22 @@ def near_linear_reduce(
     graph: Graph,
     preprocess: bool = True,
     workspace_factory: Optional[Callable[..., object]] = None,
+    sweep: Optional[Callable[[Graph], List[int]]] = None,
 ) -> Tuple[Graph, List[int], DecisionLog]:
     """Kernelize ``graph`` with NearLinear's exact rules only (no peeling).
 
     Returns ``(kernel, old_ids, log)`` exactly like
     :func:`repro.core.linear_time.linear_time_reduce`; used by ARW-NL and
     the Eval-III kernel comparison, and to report the paper's
-    "kernel graph size by NearLinear" column of Table 3.
+    "kernel graph size by NearLinear" column of Table 3.  ``sweep``
+    overrides the phase-1 dominance sweep (see :func:`_preprocess`).
     """
     telemetry = get_telemetry()
     log = DecisionLog()
     factory = FlatTriangleWorkspace if workspace_factory is None else workspace_factory
     residual, ids = _preprocess(
         graph, log, preprocess, flat=factory is not TriangleWorkspace,
-        telemetry=telemetry,
+        telemetry=telemetry, sweep=sweep,
     )
     if telemetry is not None:
         factory = instrumented_factory(

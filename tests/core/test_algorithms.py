@@ -201,7 +201,15 @@ class TestStructuredFamilies:
 
 class TestFrameworkDispatch:
     def test_all_names_registered(self):
-        assert set(ALGORITHMS) == {"BDOne", "BDTwo", "LinearTime", "NearLinear"}
+        assert set(ALGORITHMS) == {
+            "BDOne",
+            "BDTwo",
+            "LinearTime",
+            "NearLinear",
+            "BDOne-vec",
+            "LinearTime-vec",
+            "NearLinear-vec",
+        }
 
     def test_dispatch_case_insensitive(self):
         g = cycle_graph(5)

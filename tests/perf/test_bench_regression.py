@@ -50,11 +50,16 @@ def test_gated_tracks_cover_all_flat_backends():
         "near_linear",
         "arw_lt",
         "serve_incremental",
+        "linear_time_vec",
+        "near_linear_vec",
     }
     for track, (record, field) in bench_regression.GATED_TRACKS.items():
         if track == "serve_incremental":
             assert record == "ServeIncremental"
             assert field == "repair_wall"
+        elif track.endswith("_vec"):
+            assert record in {"LinearTime-vec", "NearLinear-vec"}
+            assert field == "vec_wall"
         else:
             assert field == "flat_wall"
             assert record in {"LinearTime", "NearLinear", "ARW-LT"}

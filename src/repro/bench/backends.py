@@ -11,7 +11,10 @@ differential harness:
   :class:`~repro.core.dominance.TriangleWorkspace`);
 * ``flat``       — the flat CSR buffers (the default);
 * ``vectorized`` — batch frontier sweeps over numpy buffers
-  (:mod:`repro.core.vectorized`).
+  (:mod:`repro.core.vectorized`);
+* ``auto``       — per-instance dispatch between ``flat`` and
+  ``vectorized`` using the calibrated size/density heuristic
+  (:mod:`repro.core.auto`; recalibrate with ``repro calibrate``).
 
 Only the three algorithms with multi-backend drivers are swapped; BDTwo
 (whose fold workspace has no alternative backend) always runs its own
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from ..core.auto import bdone_auto, linear_time_auto, near_linear_auto
 from ..core.bdone import bdone
 from ..core.dominance import TriangleWorkspace
 from ..core.linear_time import linear_time
@@ -64,11 +68,20 @@ BACKENDS: Dict[str, Dict[str, Solver]] = {
         "linear_time": linear_time_vec,
         "near_linear": near_linear_vec,
     },
+    "auto": {
+        "bdone": bdone_auto,
+        "linear_time": linear_time_auto,
+        "near_linear": near_linear_auto,
+    },
 }
 
 
 def resolve_backend(name: str) -> Dict[str, Solver]:
-    """The solver family for ``name`` (``legacy``/``flat``/``vectorized``)."""
+    """The solver family for ``name`` (see :data:`BACKENDS` for choices).
+
+    Unknown names raise :class:`ValueError` listing the valid choices —
+    scripts surface it directly, so the message is the help text.
+    """
     try:
         return BACKENDS[name]
     except KeyError:

@@ -1,0 +1,218 @@
+"""``repro calibrate`` — measure the flat/vectorized crossover on this host.
+
+The ``auto`` backend (:mod:`repro.core.auto`) dispatches on two numbers:
+a per-family vertex-count crossover and a minimum degree-≤2 fraction.
+The fraction is structural (it separates reduction-heavy graphs from the
+G(n, m) regime and does not move between machines), but the crossover is
+a ratio of numpy batch throughput to interpreter throughput and *does*
+move — a machine with a slow BLAS or a fast interpreter shifts it by a
+size class either way.
+
+This module reruns the crossover measurement locally: a ladder of seeded
+power-law graphs (the reduction-heavy family both vectorized drivers are
+built for), each timed best-of-``repeats`` under the flat and vectorized
+solvers, per family.  The calibrated crossover is the geometric midpoint
+between the last ladder size where flat held and the first where
+vectorized won *decisively and kept winning* (a ≥10% margin — ties and
+single noisy wins below the real crossover do not drag the threshold
+down), clamped to no less than the shipped default: near the default the
+two backends sit within noise on reduction-heavy graphs, while other
+graph families (web-like preferential attachment) still favour flat
+there, so calibration only ever moves a crossover *up* — toward flat —
+on machines where the batch rounds pay off later.  The result is
+persisted to :func:`repro.core.auto.calibration_path` (override with
+``$REPRO_CALIBRATION``) and picked up by every later ``auto`` solve.
+
+Usage::
+
+    repro calibrate                     # measure + write the file
+    repro calibrate --dry-run           # measure + print, don't write
+    repro calibrate --repeats 5         # steadier timings
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.auto import (
+    DEFAULT_CALIBRATION,
+    Calibration,
+    calibration_path,
+    reset_calibration_cache,
+)
+from ..core.linear_time import linear_time
+from ..core.near_linear import near_linear
+from ..core.vectorized import linear_time_vec, near_linear_vec
+from ..graphs.generators import power_law_graph
+from ..graphs.static_graph import Graph
+
+__all__ = ["measure_crossovers", "run_calibration", "main"]
+
+#: Vertex counts of the seeded power-law ladder.  The real crossover sits
+#: in the low thousands on every machine measured so far; the ladder
+#: brackets it with one size class of headroom on each side.
+LADDER: Tuple[int, ...] = (1_000, 2_000, 4_000, 8_000)
+
+#: When vectorized never wins on the ladder, the crossover is pinned one
+#: doubling above the ladder top — "not on this machine, at these sizes".
+_NEVER_FACTOR = 2
+
+#: A ladder size only counts as a vectorized win when it clears this
+#: ratio — near the crossover the walls tie within noise, and a tie must
+#: not pull the threshold down.
+_WIN_MARGIN = 0.9
+
+_FAMILIES: Dict[str, Tuple[Callable[[Graph], object], Callable[[Graph], object]]] = {
+    "linear_time": (linear_time, linear_time_vec),
+    "near_linear": (near_linear, near_linear_vec),
+}
+
+
+def _ladder_graph(n: int) -> Graph:
+    """The calibration instance at size ``n`` (seeded: same graph always)."""
+    return power_law_graph(n, beta=2.2, average_degree=6.0, seed=7)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_crossovers(
+    repeats: int = 3,
+    ladder: Sequence[int] = LADDER,
+    echo: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, int], Dict[str, List[Dict[str, float]]]]:
+    """Time flat vs vectorized per family over the ladder.
+
+    Returns ``(crossover_n, samples)``: the fitted per-family crossovers
+    plus the raw timings that produced them (recorded in the calibration
+    file for provenance).  ``echo`` receives one progress line per
+    measurement when given.
+    """
+    crossovers: Dict[str, int] = {}
+    samples: Dict[str, List[Dict[str, float]]] = {}
+    graphs = [(n, _ladder_graph(n)) for n in ladder]
+    # One untimed warm-up per solver: the first call pays lazy imports
+    # (numpy/scipy) and cache fills that would otherwise land entirely on
+    # the smallest ladder size and drag the fitted crossover around.
+    warmup = graphs[0][1]
+    for flat_solver, vec_solver in _FAMILIES.values():
+        flat_solver(warmup)
+        vec_solver(warmup)
+    for family, (flat_solver, vec_solver) in _FAMILIES.items():
+        rows: List[Dict[str, float]] = []
+        for n, graph in graphs:
+            flat_wall = _best_of(lambda: flat_solver(graph), repeats)
+            vec_wall = _best_of(lambda: vec_solver(graph), repeats)
+            rows.append({"n": n, "flat_wall": flat_wall, "vec_wall": vec_wall})
+            if echo is not None:
+                winner = "vec" if vec_wall <= flat_wall else "flat"
+                echo(
+                    f"  {family} n={n}: flat {flat_wall:.4f}s "
+                    f"vec {vec_wall:.4f}s -> {winner}"
+                )
+        samples[family] = rows
+        floor = DEFAULT_CALIBRATION.crossover_for(family)
+        crossovers[family] = max(floor, _fit_crossover(rows))
+    return crossovers, samples
+
+
+def _fit_crossover(rows: List[Dict[str, float]]) -> int:
+    """Smallest ladder size from which vectorized wins for good.
+
+    Walks the ladder bottom-up looking for the first size where the
+    vectorized wall time wins *decisively* (by :data:`_WIN_MARGIN`) and
+    never loses again at larger sizes; the crossover is the geometric
+    midpoint between that size and the one below it.  No such size → one
+    doubling above the ladder top.  The caller clamps the result to the
+    shipped default, so this fit can only push a crossover upward.
+    """
+    for i, row in enumerate(rows):
+        decisive = row["vec_wall"] <= _WIN_MARGIN * row["flat_wall"]
+        if decisive and all(r["vec_wall"] <= r["flat_wall"] for r in rows[i:]):
+            hi = int(row["n"])
+            lo = int(rows[i - 1]["n"]) if i > 0 else hi // 2
+            return int(round((lo * hi) ** 0.5))
+    return int(rows[-1]["n"]) * _NEVER_FACTOR
+
+
+def run_calibration(
+    repeats: int = 3,
+    out: Optional[str] = None,
+    dry_run: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+    ladder: Optional[Sequence[int]] = None,
+) -> Calibration:
+    """Measure, fit, and (unless ``dry_run``) persist a calibration."""
+    crossovers, samples = measure_crossovers(
+        repeats=repeats, ladder=LADDER if ladder is None else ladder, echo=echo
+    )
+    path = out or calibration_path()
+    calibration = Calibration(
+        crossover_n=crossovers,
+        min_low_frac=DEFAULT_CALIBRATION.min_low_frac,
+        source="dry-run" if dry_run else path,
+    )
+    if not dry_run:
+        payload = calibration.to_payload()
+        payload["samples"] = samples
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        reset_calibration_cache()
+    return calibration
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro calibrate", description=__doc__
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="calibration file to write (default: the auto backend's "
+        "per-machine path; see repro.core.auto.calibration_path)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="measure and print the fitted thresholds without writing",
+    )
+    args = parser.parse_args(argv)
+
+    print("calibrating flat/vectorized crossover (seeded power-law ladder):")
+    calibration = run_calibration(
+        repeats=max(1, args.repeats),
+        out=args.out,
+        dry_run=args.dry_run,
+        echo=print,
+    )
+    for family in sorted(calibration.crossover_n):
+        print(f"crossover_n[{family}] = {calibration.crossover_n[family]}")
+    print(f"min_low_frac = {calibration.min_low_frac}")
+    if args.dry_run:
+        print("dry run: nothing written")
+    else:
+        print(f"calibration written to {calibration.source}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,13 @@ Public surface:
 * the Theorem-6.1 upper-bound helpers.
 """
 
+from .auto import (
+    Calibration,
+    bdone_auto,
+    choose_backend_name,
+    linear_time_auto,
+    near_linear_auto,
+)
 from .bdone import bdone
 from .bdtwo import bdtwo
 from .components import affected_region, solve_by_components, touched_components
@@ -39,6 +46,7 @@ from .workspace import ArrayWorkspace, FlatWorkspace
 __all__ = [
     "ALGORITHMS",
     "ArrayWorkspace",
+    "Calibration",
     "affected_region",
     "touched_components",
     "FlatTriangleWorkspace",
@@ -50,8 +58,10 @@ __all__ = [
     "MISResult",
     "VCResult",
     "bdone",
+    "bdone_auto",
     "bdtwo",
     "certify_maximum",
+    "choose_backend_name",
     "compute_independent_set",
     "hot_loop",
     "kernelize",
@@ -60,12 +70,14 @@ __all__ = [
     "VecWorkspace",
     "bdone_vec",
     "linear_time",
+    "linear_time_auto",
     "linear_time_reduce",
     "linear_time_vec",
     "linear_time_vec_reduce",
     "lp_reduction",
     "lp_upper_bound",
     "near_linear",
+    "near_linear_auto",
     "near_linear_reduce",
     "near_linear_vec",
     "near_linear_vec_reduce",

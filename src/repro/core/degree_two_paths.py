@@ -28,7 +28,7 @@ is the one configuration only BDTwo's folding handles).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from .result import (
     STAT_PATH_ANCHOR_SHARED,
@@ -141,6 +141,13 @@ def apply_degree_two_path_reduction(workspace: Any, u: int) -> str:
 
     Returns the name of the rule case applied (one of the ``RULE_*``
     constants); :data:`RULE_IRREDUCIBLE` means nothing changed.
+
+    The vectorized backend runs a mutation-for-mutation equivalent twin
+    (:func:`repro.core.vec_paths._reduce_one`) that batches the interior
+    removals and caches neighbour pairs; any change to the case logic or
+    the push order here must land there too — the differential suite
+    (``tests/core/test_vec_paths.py``) asserts the two stay
+    entry-for-entry identical.
     """
     discovery = find_maximal_degree_two_path(workspace, u)
     path = discovery.path

@@ -24,6 +24,15 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..graphs.static_graph import Graph
 
+try:  # pragma: no cover - exercised implicitly by every import site
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional for replay
+    _np = None  # type: ignore[assignment]
+
+#: Below this many vertices the numpy prefilter in
+#: :func:`extend_to_maximal` costs more than the scalar pass it saves.
+_EXTEND_VEC_MIN_N = 2048
+
 __all__ = [
     "DecisionLog",
     "ReplayOutcome",
@@ -86,6 +95,30 @@ def extend_to_maximal(in_set: List[bool], graph: Graph) -> None:
     re-enter the solution and stop counting against the Theorem-6.1 bound.
     """
     offsets, targets = graph.flat_csr()
+    if _np is not None and graph.n >= _EXTEND_VEC_MIN_N:
+        # Prefilter: any vertex already blocked by the *initial* solution
+        # can never enter (the pass only adds vertices), so one bincount
+        # sweep removes it from consideration.  Survivors run the exact
+        # scalar greedy below against the live ``in_set``, so the result
+        # is byte-identical to the pure scan — typically over a scaffold
+        # of a few percent of n.
+        np = _np
+        xadj = np.frombuffer(offsets, dtype=np.int64)
+        if len(targets):
+            adj = np.frombuffer(targets, dtype=np.int32)
+        else:
+            adj = np.zeros(0, dtype=np.int32)
+        flags = np.frombuffer(bytearray(in_set), dtype=np.uint8)
+        slot_rows = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(xadj))
+        blocked = np.bincount(slot_rows[flags[adj] != 0], minlength=graph.n) > 0
+        candidates = np.flatnonzero((flags == 0) & ~blocked).tolist()
+        for v in candidates:
+            for i in range(offsets[v], offsets[v + 1]):
+                if in_set[targets[i]]:
+                    break
+            else:
+                in_set[v] = True
+        return
     for v in range(graph.n):
         if in_set[v]:
             continue
@@ -147,8 +180,15 @@ class DecisionLog:
         Used when an algorithm ran on a compacted subgraph: ``id_map[x]``
         is the original id of subgraph vertex ``x``.  Stats are merged.
         """
+        append = self._entries.append
+        get = id_map.__getitem__
         for kind, data in other._entries:
-            self._entries.append((kind, tuple(id_map[x] for x in data)))
+            if len(data) == 1:
+                # Singleton entries dominate; building the pair directly
+                # skips a generator + tuple() round-trip per entry.
+                append((kind, (get(data[0]),)))
+            else:
+                append((kind, tuple(map(get, data))))
         for rule, amount in other.stats.items():
             self.bump(rule, amount)
 
@@ -242,17 +282,24 @@ class DecisionLog:
         """
         in_set = [False] * n
         peeled_vertices: List[int] = []
+        # One forward pass commits includes and collects the (typically
+        # few) deferred entries; only those replay backwards — their
+        # relative order is chronological, so ``reversed`` sees them in
+        # the same order a full backward walk of the log would.
+        deferred: List[Tuple[int, Tuple[int, ...]]] = []
         for kind, data in self._entries:
             if kind == _INCLUDE:
                 in_set[data[0]] = True
             elif kind == _PEEL:
                 peeled_vertices.append(data[0])
-        for kind, data in reversed(self._entries):
+            elif kind == _PATH or kind == _FOLD:
+                deferred.append((kind, data))
+        for kind, data in reversed(deferred):
             if kind == _PATH:
                 v, blocker_a, blocker_b = data
                 if not in_set[blocker_a] and not in_set[blocker_b]:
                     in_set[v] = True
-            elif kind == _FOLD:
+            else:
                 u, v, w = data
                 if in_set[w]:
                     in_set[v] = True

@@ -1,0 +1,311 @@
+"""Vectorized LP (Nemhauser–Trotter) reduction.
+
+:func:`repro.core.lp_reduction.lp_reduction` computes the half-integral
+LP optimum from a maximum matching on the bipartite double cover with a
+pure-python Hopcroft–Karp.  On NearLinear's post-dominance residual the
+matching itself is small but the *search space* is not: every BFS phase
+re-enqueues every free left vertex and every DFS phase re-walks every
+free root, so the scalar solver pays O(rounds · n) interpreter work for
+a handful of augmentations.
+
+This module keeps the DFS augmentation scalar (it follows one path at a
+time by construction) but removes the interpreter from everything that
+scans in bulk:
+
+* a **seed matching** (Karp–Sipser-style rounds: forced degree-one moves
+  when any left vertex has exactly one free neighbour, greedy
+  propose-first-free-neighbour otherwise, with ``np.unique`` conflict
+  resolution) establishes the vast majority of the maximum matching
+  before Hopcroft–Karp starts, collapsing the number of augmentation
+  phases — forced moves are always contained in *some* maximum matching,
+  so on the forest-heavy residuals NearLinear produces they leave only a
+  few hundred augmentations for the exact phases;
+* each phase's **BFS layering** runs level-synchronously with ragged CSR
+  gathers — identical ``dist`` layers to the scalar BFS, without the
+  per-edge bytecode;
+* a **reverse alternating-reachability pass** (from the free right
+  vertices) filters the DFS roots: a free left that cannot reach any free
+  right by *some* alternating path provably cannot augment, so the scalar
+  DFS only ever starts from roots that might.  On sparse residuals this
+  removes almost every root;
+* the **König closure** and the final classification run as boolean-mask
+  sweeps.
+
+Correctness does not depend on reproducing the scalar matching: by the
+Dulmage–Mendelsohn decomposition the set of vertices reachable from free
+vertices by alternating paths is invariant across maximum matchings, so
+the König cover — and therefore the included/excluded/remaining
+classification — is *identical* for any maximum matching.  The
+differential tests assert tuple-for-tuple equality against
+:func:`lp_reduction` anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..graphs.static_graph import Graph
+from .lp_reduction import LPReductionResult, lp_reduction
+
+try:  # pragma: no cover - exercised implicitly by every import site
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["vec_lp_reduction"]
+
+#: Seeding stops after this many forced/greedy rounds; whatever is left
+#: unmatched is finished exactly by the Hopcroft–Karp phases.
+_MAX_SEED_ROUNDS = 64
+
+#: Below this size the numpy setup costs more than the scalar solver.
+_MIN_VEC_N = 256
+
+
+def _ragged(np: Any, xadj: Any, adj: Any, idx: Any) -> Tuple[Any, Any]:
+    """Gather the adjacency rows of ``idx``: ``(targets, owners)``."""
+    starts = xadj[idx]
+    lens = xadj[idx + 1] - starts
+    total = int(lens.sum())
+    seg_ends = np.cumsum(lens)
+    pos = np.arange(total, dtype=np.int64) - np.repeat(seg_ends - lens, lens)
+    pos += np.repeat(starts, lens)
+    return adj[pos], np.repeat(idx, lens)
+
+
+def _greedy_seed(
+    np: Any, xadj: Any, adj: Any, deg: Any, match_left: Any, match_right: Any
+) -> None:
+    """Seed the matching: forced degree-one rounds, greedy otherwise.
+
+    Each round gathers the open edges (free left, free right) of every
+    still-free left vertex.  When any left vertex has exactly *one* open
+    edge the round applies all such forced moves — a degree-one vertex's
+    only edge is contained in some maximum matching (the Karp–Sipser
+    lemma), so forced rounds never walk the seed away from optimal.
+    Otherwise every left proposes its first open neighbour.  In both
+    cases contested right vertices resolve to the smallest proposer
+    (``np.unique`` keeps first occurrences).  Purely an accelerator —
+    any partial matching is a valid Hopcroft–Karp starting point.
+    """
+    free = np.flatnonzero((match_left == -1) & (deg > 0))
+    for _ in range(_MAX_SEED_ROUNDS):
+        if free.size == 0:
+            return
+        nbrs, owners = _ragged(np, xadj, adj, free)
+        open_mask = match_right[nbrs] == -1
+        ow = owners[open_mask]
+        nb = nbrs[open_mask]
+        if ow.size == 0:
+            return
+        # Open-edge count per still-free left (compacted bincount).
+        pos = np.searchsorted(free, ow)
+        cnt = np.bincount(pos, minlength=free.size)
+        forced = cnt[pos] == 1
+        if forced.any():
+            # Forced lefts appear exactly once in ``ow`` — their single
+            # open edge is the proposal.
+            prop_u = ow[forced]
+            prop_v = nb[forced]
+        else:
+            # First open neighbour per proposer (ow is segment-sorted).
+            prop_u, first = np.unique(ow, return_index=True)
+            prop_v = nb[first]
+        # First proposer per contested right vertex wins; ``prop_u`` is
+        # duplicate-free in both branches, so no left is matched twice.
+        win_v, keep = np.unique(prop_v, return_index=True)
+        win_u = prop_u[keep]
+        match_left[win_u] = win_v
+        match_right[win_v] = win_u
+        free = free[match_left[free] == -1]
+
+
+def _alternating_bfs(
+    np: Any, xadj: Any, adj: Any, deg: Any, match_right: Any, dist: Any, inf: int
+) -> bool:
+    """Layer left vertices by alternating distance (one Hopcroft–Karp BFS).
+
+    ``dist`` must arrive pre-seeded (0 on free lefts, ``inf`` elsewhere).
+    Produces the same layers as the scalar queue BFS — level-synchronous
+    expansion assigns each matched left its first-encounter layer — and
+    returns whether any free right vertex was reached.
+    """
+    frontier = np.flatnonzero(dist == 0)
+    frontier = frontier[deg[frontier] > 0]
+    found = False
+    layer = 0
+    while frontier.size:
+        layer += 1
+        nbrs, _ = _ragged(np, xadj, adj, frontier)
+        nxt = match_right[nbrs]
+        if not found and bool((nxt == -1).any()):
+            found = True
+        cand = nxt[nxt >= 0]
+        cand = np.unique(cand)
+        cand = cand[dist[cand] == inf]
+        dist[cand] = layer
+        frontier = cand
+    return found
+
+
+def _reachable_roots(
+    np: Any, xadj: Any, adj: Any, deg: Any, match_left: Any, match_right: Any
+) -> Any:
+    """Left vertices with *some* alternating path to a free right vertex.
+
+    Reverse reachability: start from the free right vertices; any left
+    neighbour can finish an augmenting path there, and its matched right
+    partner extends the search.  A free left outside this set cannot
+    augment this phase (or ever, until the matching changes), so the DFS
+    skips it wholesale.  The filter is conservative — it never drops a
+    root that could augment.
+    """
+    can_finish = np.zeros(match_left.shape[0], dtype=bool)
+    seen_right = match_right == -1
+    rights = np.flatnonzero(seen_right)
+    rights = rights[deg[rights] > 0]
+    while rights.size:
+        nbrs, _ = _ragged(np, xadj, adj, rights)
+        lefts = np.unique(nbrs)
+        lefts = lefts[~can_finish[lefts]]
+        can_finish[lefts] = True
+        partners = match_left[lefts]
+        partners = partners[partners >= 0]
+        partners = partners[~seen_right[partners]]
+        seen_right[partners] = True
+        rights = partners
+    return can_finish
+
+
+def vec_lp_reduction(graph: Graph) -> LPReductionResult:
+    """Classify every vertex by its half-integral LP value (vectorized).
+
+    Returns the identical :class:`LPReductionResult` of
+    :func:`~repro.core.lp_reduction.lp_reduction` (König covers are
+    matching-invariant; see the module docstring).  Falls back to the
+    scalar solver when numpy is unavailable or the graph is tiny.
+    """
+    n = graph.n
+    if _np is None or n < _MIN_VEC_N:
+        return lp_reduction(graph)
+    np = _np
+    offsets, targets = graph.flat_csr()
+    xadj = np.frombuffer(offsets, dtype=np.int64)
+    if len(targets):
+        adj = np.frombuffer(targets, dtype=np.int32)
+    else:
+        adj = np.zeros(0, dtype=np.int32)
+    deg = np.diff(xadj)
+    match_left = np.full(n, -1, dtype=np.int64)
+    match_right = np.full(n, -1, dtype=np.int64)
+    _greedy_seed(np, xadj, adj, deg, match_left, match_right)
+    # ------------------------------------------------------------------
+    # Hopcroft–Karp phases: vectorized BFS + filtered scalar DFS.
+    # ------------------------------------------------------------------
+    inf = n + 1
+    dist = np.empty(n, dtype=np.int64)
+    adj_l = adj.tolist()
+    xadj_l = xadj.tolist()
+    ml: List[int] = match_left.tolist()
+    mr: List[int] = match_right.tolist()
+    while True:
+        dist[:] = inf
+        dist[match_left == -1] = 0
+        if not _alternating_bfs(np, xadj, adj, deg, match_right, dist, inf):
+            break
+        roots = np.flatnonzero(
+            (match_left == -1)
+            & (deg > 0)
+            & _reachable_roots(np, xadj, adj, deg, match_left, match_right)
+        )
+        dist_l = dist.tolist()
+        _augment_roots(roots.tolist(), xadj_l, adj_l, dist_l, ml, mr, inf)
+        match_left = np.asarray(ml, dtype=np.int64)
+        match_right = np.asarray(mr, dtype=np.int64)
+    # ------------------------------------------------------------------
+    # König closure + classification (boolean-mask sweeps).
+    # ------------------------------------------------------------------
+    visited_left = np.zeros(n, dtype=bool)
+    visited_right = np.zeros(n, dtype=bool)
+    start = np.flatnonzero(match_left == -1)
+    visited_left[start] = True
+    frontier = start[deg[start] > 0]
+    while frontier.size:
+        nbrs, owners = _ragged(np, xadj, adj, frontier)
+        vs = nbrs[match_left[owners] != nbrs]  # skip the matching edge
+        vs = np.unique(vs)
+        vs = vs[~visited_right[vs]]
+        visited_right[vs] = True
+        nxt = match_right[vs]
+        nxt = nxt[nxt >= 0]
+        nxt = nxt[~visited_left[nxt]]  # match_right is injective: no dups
+        visited_left[nxt] = True
+        frontier = nxt
+    cover_left = ~visited_left
+    cover_right = visited_right
+    return LPReductionResult(
+        tuple(np.flatnonzero(~cover_left & ~cover_right).tolist()),
+        tuple(np.flatnonzero(cover_left & cover_right).tolist()),
+        tuple(np.flatnonzero(cover_left ^ cover_right).tolist()),
+    )
+
+
+def _augment_roots(
+    roots: List[int],
+    xadj: List[int],
+    adj: List[int],
+    dist: List[int],
+    match_left: List[int],
+    match_right: List[int],
+    inf: int,
+) -> None:
+    """One shortest augmenting path per root (scalar iterative DFS).
+
+    The inner loop is the DFS of
+    :func:`repro.core.lp_reduction._solve_csr`, lifted verbatim onto
+    plain-list buffers; only the root enumeration differs (the caller
+    pre-filters roots instead of scanning ``range(n)``).
+    """
+    nodes: List[int] = []
+    ptrs: List[int] = []
+    chosen: List[int] = []
+    for root in roots:
+        if match_left[root] != -1:
+            continue
+        nodes.append(root)
+        ptrs.append(xadj[root])
+        chosen.append(-1)
+        while nodes:
+            u = nodes[-1]
+            j = ptrs[-1]
+            hi = xadj[u + 1]
+            layer = dist[u] + 1
+            descended = False
+            while j < hi:
+                v = adj[j]
+                j += 1
+                nxt = match_right[v]
+                if nxt == -1:
+                    # Free right vertex: flip the whole alternating path.
+                    chosen[-1] = v
+                    for node, partner in zip(nodes, chosen):
+                        match_left[node] = partner
+                        match_right[partner] = node
+                    nodes.clear()
+                    ptrs.clear()
+                    chosen.clear()
+                    descended = True
+                    break
+                if dist[nxt] == layer:
+                    ptrs[-1] = j
+                    chosen[-1] = v
+                    nodes.append(nxt)
+                    ptrs.append(xadj[nxt])
+                    chosen.append(-1)
+                    descended = True
+                    break
+            if not descended:
+                dist[u] = inf
+                nodes.pop()
+                ptrs.pop()
+                chosen.pop()

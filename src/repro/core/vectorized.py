@@ -31,8 +31,13 @@ The round algebra (one :func:`_degree_one_rounds` sweep):
 5. classify the survivors by new degree: 0 → include now, 1 → next
    round's frontier, 2 → the degree-two worklist.
 
-Degree-two path reductions and peels are rare on the graphs where this
-backend matters, so they stay scalar: :class:`VecWorkspace` implements the
+Degree-two path reductions and peels run batched as well (PR7): the
+drivers delegate to :mod:`repro.core.vec_paths`, which walks chains over
+a gathered neighbour-pair cache and resolves deletions row-at-a-time
+while producing the *same decision log* as the scalar protocol (the
+drivers accept ``batch_rounds=False`` to run the scalar path driver
+unchanged — the differential tests assert entry-for-entry log equality
+between the two modes).  :class:`VecWorkspace` still implements the
 complete mutation protocol of :class:`~repro.core.workspace.FlatWorkspace`
 over its numpy buffers, which lets it share the Lemma 4.1 path driver, the
 lazy max-degree selector and every generic consumer (instrumentation,
@@ -49,6 +54,7 @@ only pre-certifies vertices that are provably removed at their sweep turn).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import replace
 from itertools import repeat as _repeat
 from typing import Any, List, Optional, Tuple
@@ -60,6 +66,7 @@ from .degree_two_paths import RULE_IRREDUCIBLE, apply_degree_two_path_reduction
 from .hotpath import hot_loop
 from .result import STAT_DEGREE_ONE, STAT_PEEL, MISResult
 from .trace import EXCLUDE, INCLUDE, DecisionLog
+from .vec_paths import PathPairCache, run_path_rounds, vec_delete_vertex
 
 try:  # pragma: no cover - exercised implicitly by every import site
     import numpy as _np
@@ -130,6 +137,8 @@ class VecWorkspace:
         "_nlive",
         "_live_deg_sum",
         "_rounds",
+        "_pair_pending",
+        "_v2_filter_at",
     )
 
     def __init__(self, graph: Graph, track_degree_two: bool = False) -> None:
@@ -153,6 +162,10 @@ class VecWorkspace:
         self._nlive = n
         self._live_deg_sum = int(len(targets))
         self._rounds = 0
+        # Batched path rounds install a list here; the sweep then feeds it
+        # every new degree-two arrival so pair gathers stay incremental.
+        self._pair_pending: Optional[List[Any]] = None
+        self._v2_filter_at = 512
         zeros = np.flatnonzero(self.deg == 0)
         if zeros.size:
             self.alive[zeros] = 0
@@ -214,10 +227,23 @@ class VecWorkspace:
         return None
 
     def pop_degree_two(self) -> Optional[int]:
-        """Pop a validated degree-two vertex, or ``None`` if V₌₂ is empty."""
+        """Pop a validated degree-two vertex, or ``None`` if V₌₂ is empty.
+
+        Long stale runs (vertices consumed by sweeps after being filed)
+        are compacted with one vectorized mask instead of popping one
+        numpy-scalar check at a time.  The filter keeps order, so the pop
+        sequence over *valid* entries is unchanged; the doubling threshold
+        amortizes each O(|V₌₂|) compaction against the appends since the
+        previous one.
+        """
         alive = self.alive
         deg = self.deg
         v2 = self.v2
+        if len(v2) >= self._v2_filter_at:
+            arr = _np.asarray(v2, dtype=_np.int32)
+            v2 = arr[(alive[arr] != 0) & (deg[arr] == 2)].tolist()
+            self.v2 = v2
+            self._v2_filter_at = max(512, 2 * len(v2))
         while v2:
             v = v2.pop()
             if alive[v] and deg[v] == 2:
@@ -389,6 +415,7 @@ def _degree_one_rounds(workspace: VecWorkspace) -> Tuple[int, int]:
     v2_extend = workspace.v2.extend
     entries = workspace.log.entries
     track2 = workspace._track2
+    pair_pending = workspace._pair_pending
     pending = np_empty(0, dtype=int32)
     excluded = 0
     rounds = 0
@@ -473,6 +500,11 @@ def _degree_one_rounds(workspace: VecWorkspace) -> Tuple[int, int]:
         if track2:
             twos = affected[new_deg == 2]
             v2_extend(twos.tolist())
+            if pair_pending is not None:
+                # Announce the arrivals to the path-round pair cache: each
+                # vertex is gathered at most once per time it *becomes*
+                # degree-two, which (degrees only fall) is once.
+                pair_pending.append(twos)
         pending = affected[new_deg == 1]
     workspace._nlive -= nlive_drop
     workspace._live_deg_sum -= deg_sum_drop
@@ -499,18 +531,43 @@ def _sweep(workspace: VecWorkspace, telemetry: Any, algorithm: str) -> int:
     return excluded
 
 
-def drive_linear_time_vec(workspace: VecWorkspace, stop_before_peel: bool) -> bool:
+def drive_linear_time_vec(
+    workspace: VecWorkspace, stop_before_peel: bool, batch_rounds: bool = True
+) -> bool:
     """LinearTime over the vectorized workspace.
 
-    Degree-one reductions run in batch rounds; degree-two paths and peels
-    interleave through the scalar protocol (each one re-seeds ``v1``, so
-    the next sweep picks up the fallout).  Returns ``True`` when the graph
-    was fully consumed, ``False`` when stopped at the first would-be peel.
+    Degree-one reductions run in batch rounds.  With ``batch_rounds``
+    (the default) degree-two paths drain through
+    :func:`~repro.core.vec_paths.run_path_rounds` — cached chain walks
+    plus batch-wise Lemma 4.1 application — and peels resolve their whole
+    neighbour row at once; the decision log is *identical* to the scalar
+    protocol, which ``batch_rounds=False`` keeps available as the
+    differential oracle.  Returns ``True`` when the graph was fully
+    consumed, ``False`` when stopped at the first would-be peel.
     """
     log = workspace.log
     telemetry = get_telemetry()
     excluded = 0
     consumed = True
+    if batch_rounds and _np is not None:
+        cache = PathPairCache(workspace.n)
+        while True:
+            excluded += _sweep(workspace, telemetry, "LinearTime-vec")
+            if workspace.v2:
+                run_path_rounds(workspace, cache)
+                if workspace.v1:
+                    continue
+            u = workspace.pop_max_degree()
+            if u is None:
+                break
+            if stop_before_peel:
+                consumed = False
+                break
+            vec_delete_vertex(workspace, u, "peel")
+            log.bump(STAT_PEEL)
+        if excluded:
+            log.bump(STAT_DEGREE_ONE, excluded)
+        return consumed
     while True:
         excluded += _sweep(workspace, telemetry, "LinearTime-vec")
         u = workspace.pop_degree_two()
@@ -532,17 +589,21 @@ def drive_linear_time_vec(workspace: VecWorkspace, stop_before_peel: bool) -> bo
     return consumed
 
 
-def drive_bdone_vec(workspace: VecWorkspace) -> None:
-    """BDOne over the vectorized workspace (sweeps + scalar peels)."""
+def drive_bdone_vec(workspace: VecWorkspace, batch_rounds: bool = True) -> None:
+    """BDOne over the vectorized workspace (sweeps + batched peels)."""
     log = workspace.log
     telemetry = get_telemetry()
     excluded = 0
+    batched = batch_rounds and _np is not None
     while True:
         excluded += _sweep(workspace, telemetry, "BDOne-vec")
         u = workspace.pop_max_degree()
         if u is None:
             break
-        workspace.delete_vertex(u, "peel")
+        if batched:
+            vec_delete_vertex(workspace, u, "peel")
+        else:
+            workspace.delete_vertex(u, "peel")
         log.bump(STAT_PEEL)
     if excluded:
         log.bump(STAT_DEGREE_ONE, excluded)
@@ -557,16 +618,16 @@ def vectorized_one_pass_dominance(graph: Graph) -> List[int]:
 
     Returns the **byte-identical** removed list of
     :func:`~repro.core.flat_dominance.flat_one_pass_dominance`.  The numpy
-    preamble computes the sweep order (one ``lexsort`` instead of an
+    preamble computes the sweep order (one stable argsort instead of an
     O(n log n) interpreted sort) and pre-certifies the *leaf wave*: every
     vertex with an initial leaf neighbour is provably dominated at its own
     sweep turn — a leaf's degree cannot change while its sole neighbour is
     alive, and the sweep order (initial degree descending, id ascending)
     guarantees the neighbour's turn comes first — so the sweep removes it
-    without stamping or subset scans.  For K₂ components the earlier
-    endpoint (smaller id) is certified by the same argument.  Everything
-    else runs the exact stamp-based subset test of the flat sweep, on
-    identical state at every turn, so the decision sequence never diverges.
+    without any subset scans.  For K₂ components the earlier endpoint
+    (smaller id) is certified by the same argument.  Everything else runs
+    an exact subset test equivalent to the flat sweep's, on identical
+    state at every turn, so the decision sequence never diverges.
     """
     if _np is None:
         from .flat_dominance import flat_one_pass_dominance
@@ -583,64 +644,78 @@ def vectorized_one_pass_dominance(graph: Graph) -> List[int]:
     else:
         adj32 = np.zeros(0, dtype=np.int32)
     degv = np.diff(xadj64)
-    # Leaf wave: vertices certain to be removed at their turn.
+    # Leaf wave: vertices certain to be removed at their turn.  A leaf's
+    # row holds exactly its partner, so the set of vertices with an
+    # initial leaf neighbour is just the (deduplicating) scatter of the
+    # leaf partners — no per-edge pass needed.
     is_leaf = degv == 1
-    slot_rows = np.repeat(np.arange(n, dtype=np.int64), degv)
-    certified = (degv >= 2) & (
-        np.bincount(slot_rows[is_leaf[adj32]], minlength=n) > 0
-    )
     leaf_ids = np.flatnonzero(is_leaf)
+    certified = np.zeros(n, dtype=bool)
     if leaf_ids.size:
-        partner = adj32[xadj64[leaf_ids]]
-        k2_first = leaf_ids[is_leaf[partner] & (leaf_ids < partner.astype(np.int64))]
-        certified[k2_first] = True
+        partner = adj32[xadj64[leaf_ids]].astype(np.int64)
+        certified[partner[degv[partner] >= 2]] = True
+        certified[leaf_ids[is_leaf[partner] & (leaf_ids < partner)]] = True
     skip_test = bytearray(certified.astype(np.uint8).tobytes())
-    order = np.lexsort((np.arange(n, dtype=np.int64), -degv)).tolist()
+    # Stable argsort on negated degree == (degree desc, id asc).
+    order = np.argsort(-degv, kind="stable").tolist()
     deg = degv.tolist()
     xadj = xadj64.tolist()
     adj = adj32.tolist()
     # Scalar sweep — identical decision sequence to flat_one_pass_dominance.
-    alive = bytearray([1]) * n
-    stamp = [0] * n
-    clock = 0
+    # Three restructurings, none able to change a decision:
+    #
+    # * candidates-first: rows that produce no candidates (or are
+    #   dominated by a leaf outright) never reach the subset scans;
+    # * subset tests by binary search: ``N[v] ⊆ N[u]`` is checked by
+    #   bisecting each live ``x ∈ N(v)`` into ``u``'s sorted row (the
+    #   :meth:`~repro.graphs.static_graph.Graph.flat_csr` contract)
+    #   instead of stamping ``u``'s whole neighbourhood first — the
+    #   sweep order visits hubs first, whose O(Δ) stamping passes almost
+    #   always certified a *non*-removal.  The test itself is exact, so
+    #   the decision boolean is unchanged;
+    # * liveness folded into ``deg``: a removed vertex gets ``deg 0``,
+    #   and inside any scanned row a live vertex always has ``deg ≥ 1``
+    #   (it is adjacent to the live row owner), so ``deg[w] != 0`` is
+    #   equivalent to the separate ``alive[w]`` flag.  A live vertex that
+    #   *became* isolated is skipped at its turn, where the original
+    #   scanned its all-dead row and decided nothing.
     removed: List[int] = []
     candidates: List[int] = []
     for u in order:
-        if not alive[u]:
+        du = deg[u]
+        if not du:
             continue
         row_u = adj[xadj[u] : xadj[u + 1]]
         dominated = False
         if skip_test[u]:
             dominated = True
         else:
-            du = deg[u]
-            clock += 1
             candidates.clear()
             for w in row_u:
-                if alive[w]:
-                    stamp[w] = clock
-                    dw = deg[w]
-                    if dw <= du:
-                        if dw == 1:
-                            dominated = True
-                        else:
-                            candidates.append(w)
+                dw = deg[w]
+                if dw and dw <= du:
+                    if dw == 1:
+                        dominated = True
+                        break
+                    candidates.append(w)
             if not dominated and candidates:
+                row_len = len(row_u)
                 candidates.sort(key=deg.__getitem__)
                 for v in candidates:
                     for x in adj[xadj[v] : xadj[v + 1]]:
-                        if alive[x] and x != u and stamp[x] != clock:
-                            break
+                        if deg[x] and x != u:
+                            j = bisect_left(row_u, x)
+                            if j >= row_len or row_u[j] != x:
+                                break
                     else:
                         dominated = True
                         break
         if dominated:
-            alive[u] = 0
             removed.append(u)
-            for w in row_u:
-                if alive[w]:
-                    deg[w] -= 1
             deg[u] = 0
+            for w in row_u:
+                if deg[w]:
+                    deg[w] -= 1
     return removed
 
 
@@ -667,16 +742,21 @@ def bdone_vec(graph: Graph) -> MISResult:
 
 
 def near_linear_vec(graph: Graph) -> MISResult:
-    """NearLinear with the vectorized dominance prefilter (``NearLinear-vec``).
+    """NearLinear with vectorized dominance + LP phases (``NearLinear-vec``).
 
-    Phase 1 runs :func:`vectorized_one_pass_dominance` — identical removed
-    list, so the whole downstream pipeline (LP kernel, triangle workspace,
-    peels) matches the flat backend decision-for-decision.
+    Phase 1 runs :func:`vectorized_one_pass_dominance` (identical removed
+    list) and phase 2 runs
+    :func:`~repro.core.vec_lp.vec_lp_reduction` (identical half-integral
+    classification), so the whole downstream pipeline (LP kernel, triangle
+    workspace, peels) matches the flat backend decision-for-decision.
     """
     from .near_linear import near_linear
+    from .vec_lp import vec_lp_reduction
 
     return replace(
-        near_linear(graph, sweep=vectorized_one_pass_dominance),
+        near_linear(
+            graph, sweep=vectorized_one_pass_dominance, lp=vec_lp_reduction
+        ),
         algorithm="NearLinear-vec",
     )
 
@@ -689,7 +769,10 @@ def linear_time_vec_reduce(graph: Graph) -> Tuple[Graph, List[int], DecisionLog]
 
 
 def near_linear_vec_reduce(graph: Graph) -> Tuple[Graph, List[int], DecisionLog]:
-    """Kernelize with NearLinear's exact rules, vectorized phase-1 sweep."""
+    """Kernelize with NearLinear's exact rules, vectorized phase-1/2."""
     from .near_linear import near_linear_reduce
+    from .vec_lp import vec_lp_reduction
 
-    return near_linear_reduce(graph, sweep=vectorized_one_pass_dominance)
+    return near_linear_reduce(
+        graph, sweep=vectorized_one_pass_dominance, lp=vec_lp_reduction
+    )

@@ -209,6 +209,9 @@ class TestFrameworkDispatch:
             "BDOne-vec",
             "LinearTime-vec",
             "NearLinear-vec",
+            "BDOne-auto",
+            "LinearTime-auto",
+            "NearLinear-auto",
         }
 
     def test_dispatch_case_insensitive(self):

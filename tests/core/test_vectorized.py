@@ -227,3 +227,152 @@ def test_export_kernel_matches_flat():
         vec_kernel, vec_ids = vec_ws.export_kernel()
         assert list(vec_ids) == list(flat_ids)
         assert vec_kernel == flat_kernel  # Graph.__eq__: same CSR buffers
+
+
+# ----------------------------------------------------------------------
+# ISSUE 7: path/cycle-heavy corpus extension + the K2 LIFO tie-break
+# ----------------------------------------------------------------------
+def _path_heavy_corpus():
+    """Graphs whose reduction work is dominated by degree-two chains.
+
+    Shuffled vertex ids keep the adjacency rows sorted but decouple id
+    order from chain order — the adversarial case for any driver that
+    implicitly assumes chains are laid out contiguously.
+    """
+    import random
+
+    from repro.graphs.generators import (
+        caterpillar_graph,
+        cycle_graph,
+        path_graph,
+        random_tree,
+    )
+
+    graphs = []
+    for k in (3, 4, 5, 9, 16, 31, 64):
+        graphs.append(path_graph(k))
+        graphs.append(cycle_graph(k))
+    graphs.append(caterpillar_graph(12, 2))
+    for seed in range(6):
+        graphs.append(random_tree(45 + seed, seed=seed))
+        # Disjoint shuffled cycles: every component is one Lemma 4.1 case.
+        rng = random.Random(seed)
+        sizes = [rng.randint(3, 9) for _ in range(5)]
+        n = sum(sizes)
+        perm = list(range(n))
+        rng.shuffle(perm)
+        edges = []
+        base = 0
+        for size in sizes:
+            for i in range(size):
+                edges.append(
+                    (perm[base + i], perm[base + (i + 1) % size])
+                )
+            base += size
+        graphs.append(Graph.from_edges(n, edges, name=f"cycles-{seed}"))
+    return graphs
+
+
+PATH_HEAVY_CORPUS = _path_heavy_corpus()
+
+
+def test_path_heavy_corpus_replay_records_match_scalar():
+    """Satellite 3: batch degree-two rounds vs the scalar driver.
+
+    On the chain-dominated corpus the batch driver must append the
+    entry-for-entry identical decision log, and the resolved replay
+    records (in_set + peeled) must therefore agree exactly.
+    """
+    from repro.core.vectorized import drive_linear_time_vec
+
+    for graph in PATH_HEAVY_CORPUS:
+        batch_ws = VecWorkspace(graph)
+        drive_linear_time_vec(batch_ws, stop_before_peel=False, batch_rounds=True)
+        scalar_ws = VecWorkspace(graph)
+        drive_linear_time_vec(scalar_ws, stop_before_peel=False, batch_rounds=False)
+        assert batch_ws.log.entries == scalar_ws.log.entries, graph.name
+        batch_in, batch_peeled = batch_ws.log.resolve(graph.n)
+        scalar_in, scalar_peeled = scalar_ws.log.resolve(graph.n)
+        assert batch_in == scalar_in, graph.name
+        assert batch_peeled == scalar_peeled, graph.name
+
+
+def test_path_heavy_corpus_solvers_match_flat():
+    for graph in PATH_HEAVY_CORPUS:
+        flat = linear_time(graph)
+        vec = linear_time_vec(graph)
+        assert_valid_solution(graph, vec.independent_set)
+        assert len(vec.independent_set) == len(flat.independent_set), graph.name
+        nl_flat = near_linear(graph)
+        nl_vec = near_linear_vec(graph)
+        assert nl_vec.independent_set == nl_flat.independent_set, graph.name
+
+
+def _star_of_paths(lengths, seed=0):
+    """Paths of the given lengths glued at a hub, ids shuffled.
+
+    Adversarial for the degree-one LIFO tie-break: every path end is a
+    simultaneous frontier member, and the shuffle makes the worklist
+    order disagree with chain order.
+    """
+    import random
+
+    rng = random.Random(seed)
+    edges = []
+    next_id = 1
+    for length in lengths:
+        prev = 0
+        for _ in range(length):
+            edges.append((prev, next_id))
+            prev = next_id
+            next_id += 1
+    perm = list(range(next_id))
+    rng.shuffle(perm)
+    return Graph.from_edges(
+        next_id, [(perm[a], perm[b]) for a, b in edges], name="star-of-paths"
+    )
+
+
+def test_k2_pairs_keep_larger_id_like_flat_lifo():
+    """Satellite 2 (part 1): on pure-K2 graphs the batched pair split must
+    reproduce the flat backend's LIFO outcome exactly — the larger id of
+    each mutual degree-one pair enters the solution."""
+    import random
+
+    for seed in range(12):
+        rng = random.Random(seed)
+        n = 30 + 2 * seed
+        ids = list(range(n))
+        rng.shuffle(ids)
+        edges = [(ids[2 * i], ids[2 * i + 1]) for i in range(n // 2)]
+        graph = Graph.from_edges(n, edges, name=f"k2-{seed}")
+        expected = frozenset(max(a, b) for a, b in edges)
+        assert linear_time(graph).independent_set == expected, seed
+        assert linear_time_vec(graph).independent_set == expected, seed
+        assert bdone_vec(graph).independent_set == expected, seed
+
+
+def test_star_of_paths_property_vs_flat():
+    """Satellite 2 (part 2): adversarial star-of-paths graphs.
+
+    The optimal set on a star of paths is not unique, and the batched
+    rounds may legally settle a different (same-size) one than the flat
+    LIFO order — the pinned property is size equality, validity, and a
+    replay whose surviving-peel count is zero (paths are always solved
+    exactly, never peeled).
+    """
+    import random
+
+    for seed in range(10):
+        rng = random.Random(100 + seed)
+        lengths = [rng.randint(1, 7) for _ in range(rng.randint(3, 9))]
+        graph = _star_of_paths(lengths, seed=seed)
+        flat = linear_time(graph)
+        vec = linear_time_vec(graph)
+        assert_valid_solution(graph, vec.independent_set)
+        assert len(vec.independent_set) == len(flat.independent_set), (
+            seed,
+            lengths,
+        )
+        assert vec.surviving_peels == 0
+        assert flat.surviving_peels == 0

@@ -52,6 +52,8 @@ def test_gated_tracks_cover_all_flat_backends():
         "serve_incremental",
         "linear_time_vec",
         "near_linear_vec",
+        "linear_time_auto",
+        "near_linear_auto",
     }
     for track, (record, field) in bench_regression.GATED_TRACKS.items():
         if track == "serve_incremental":
@@ -60,6 +62,9 @@ def test_gated_tracks_cover_all_flat_backends():
         elif track.endswith("_vec"):
             assert record in {"LinearTime-vec", "NearLinear-vec"}
             assert field == "vec_wall"
+        elif track.endswith("_auto"):
+            assert record in {"LinearTime-auto", "NearLinear-auto"}
+            assert field == "auto_wall"
         else:
             assert field == "flat_wall"
             assert record in {"LinearTime", "NearLinear", "ARW-LT"}

@@ -187,53 +187,102 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    from .obs.watch import main as watch_main
+
+    argv = ["--dir", args.dir, "--tolerance", str(args.tolerance)]
+    if args.json:
+        argv.append("--json")
+    if args.out:
+        argv.extend(["--out", args.out])
+    if args.strict:
+        argv.append("--strict")
+    return watch_main(argv)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+    from contextlib import ExitStack
 
     from .serve import SolverService, ServiceConfig
     from .serve.requests import serve_stream
 
-    if args.restore:
-        service = SolverService.load(args.restore)
-        print(
-            f"# restored {len(service.graph_ids())} graph(s) from {args.restore}",
-            file=sys.stderr,
-        )
-    else:
-        service = SolverService(
-            ServiceConfig(
-                algorithm=args.algorithm,
-                cache_capacity=args.cache_capacity,
-                dirty_threshold=args.dirty_threshold,
-                repair_radius=args.repair_radius,
-                default_timeout=args.timeout,
+    with ExitStack() as stack:
+        telemetry = None
+        if args.metrics_out:
+            # Enabled before the service is built, so it adopts the global
+            # registry and the exposition sees every request.
+            from .obs.metrics import metrics_session
+
+            stack.enter_context(metrics_session(label="repro-serve"))
+        if args.trace_out:
+            from .obs import telemetry_session
+
+            telemetry = stack.enter_context(telemetry_session(label="repro-serve"))
+        if args.restore:
+            service = SolverService.load(args.restore)
+            print(
+                f"# restored {len(service.graph_ids())} graph(s) from {args.restore}",
+                file=sys.stderr,
             )
-        )
-    if args.requests == "-":
-        source = sys.stdin
-        close_source = None
-    else:
-        close_source = open(args.requests, "r", encoding="utf-8")
-        source = close_source
-    if args.output:
-        sink = open(args.output, "w", encoding="utf-8")
-    else:
-        sink = sys.stdout
-    try:
-        failed = serve_stream(service, source, sink)
-    finally:
-        if close_source is not None:
-            close_source.close()
+        else:
+            service = SolverService(
+                ServiceConfig(
+                    algorithm=args.algorithm,
+                    cache_capacity=args.cache_capacity,
+                    dirty_threshold=args.dirty_threshold,
+                    repair_radius=args.repair_radius,
+                    default_timeout=args.timeout,
+                )
+            )
+        if args.requests == "-":
+            source = sys.stdin
+            close_source = None
+        else:
+            close_source = open(args.requests, "r", encoding="utf-8")
+            source = close_source
         if args.output:
-            sink.close()
-    if args.snapshot:
-        service.save(args.snapshot)
-        print(f"# snapshot written to {args.snapshot}", file=sys.stderr)
-    if args.stats:
-        print(
-            f"# counters: {json.dumps(service.counters(), sort_keys=True)}",
-            file=sys.stderr,
-        )
+            sink = open(args.output, "w", encoding="utf-8")
+        else:
+            sink = sys.stdout
+        try:
+            failed = serve_stream(service, source, sink)
+        finally:
+            if close_source is not None:
+                close_source.close()
+            if args.output:
+                sink.close()
+        if args.snapshot:
+            service.save(args.snapshot)
+            print(f"# snapshot written to {args.snapshot}", file=sys.stderr)
+        if args.stats:
+            print(
+                f"# counters: {json.dumps(service.counters(), sort_keys=True)}",
+                file=sys.stderr,
+            )
+        if args.metrics_out:
+            if args.metrics_out.endswith(".jsonl"):
+                count = service.metrics.write_jsonl(args.metrics_out)
+                print(
+                    f"# metrics: {count} records to {args.metrics_out}",
+                    file=sys.stderr,
+                )
+            else:
+                with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(service.metrics.to_prometheus())
+                print(
+                    f"# metrics: Prometheus exposition to {args.metrics_out}",
+                    file=sys.stderr,
+                )
+        if args.trace_out and telemetry is not None:
+            from .obs import write_trace
+
+            count = write_trace(args.trace_out, telemetry.to_records())
+            print(
+                f"# trace: {count} records to {args.trace_out} "
+                f"(view with `python -m repro obs report {args.trace_out}`)",
+                file=sys.stderr,
+            )
     return 1 if failed else 0
 
 
@@ -383,6 +432,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("trace", help="trace file written by --telemetry")
     obs_report.set_defaults(handler=_cmd_obs_report)
+    obs_watch = obs_commands.add_parser(
+        "watch",
+        help="flag gated bench tracks that drifted from their trajectory best",
+    )
+    obs_watch.add_argument(
+        "--dir", default=".", help="directory holding BENCH_PR*.json baselines"
+    )
+    obs_watch.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="flag when latest wall exceeds trajectory best by this ratio",
+    )
+    obs_watch.add_argument(
+        "--json", action="store_true", help="emit the trajectory as JSON"
+    )
+    obs_watch.add_argument("--out", default=None, help="also write the output here")
+    obs_watch.add_argument(
+        "--strict", action="store_true", help="exit nonzero on any flagged track"
+    )
+    obs_watch.set_defaults(handler=_cmd_obs_watch)
 
     serve = commands.add_parser(
         "serve", help="drive the incremental solving service from JSONL requests"
@@ -427,6 +497,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--restore", help="start from a saved service snapshot")
     serve.add_argument(
         "--stats", action="store_true", help="print cache/repair counters to stderr"
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a metrics snapshot on exit (.jsonl for JSON lines, "
+        "anything else gets the Prometheus text exposition)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="TRACE",
+        help="record per-request telemetry spans to this JSON-lines file",
     )
     serve.set_defaults(handler=_cmd_serve)
 

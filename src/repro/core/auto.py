@@ -34,6 +34,8 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..graphs.static_graph import Graph
+from ..obs.metrics import METRIC_AUTO_BACKEND_PICKS, get_metrics
+from ..obs.telemetry import get_telemetry
 from .bdone import bdone
 from .linear_time import linear_time
 from .near_linear import near_linear
@@ -225,6 +227,23 @@ def _dispatch(
         stat = STAT_AUTO_FLAT
     stats = dict(result.stats)
     stats[stat] = stats.get(stat, 0) + 1
+    telemetry = get_telemetry()
+    if telemetry is not None:
+        # Free-form record (gets the scoped request/component stamp), so a
+        # merged trace can say which backend each request's components ran.
+        telemetry.record(
+            {
+                "type": "backend_pick",
+                "algorithm": auto_name,
+                "graph": graph.name,
+                "n": graph.n,
+                "backend": picked,
+                "pid": os.getpid(),
+            }
+        )
+    metrics = get_metrics()
+    if metrics is not None:
+        metrics.inc(METRIC_AUTO_BACKEND_PICKS, family=family, backend=picked)
     return replace(result, algorithm=auto_name, stats=stats)
 
 

@@ -7,6 +7,8 @@ the code base must keep by convention:
    ``telemetry_session(...)``, ``.timed(...)`` and ``.scoped(...)`` are
    context managers whose exit handlers do the recording; calling one
    outside a ``with`` statement opens a span that can never close.
+   Passing the call directly to ``ExitStack.enter_context(...)`` is the
+   one sanctioned alternative — the stack's ``__exit__`` closes it.
    Likewise, a function that calls ``enable()`` must also call
    ``disable()`` (normally in a ``finally``), or the sink leaks across
    runs.
@@ -78,6 +80,13 @@ class TelemetryDisciplineRule(Rule):
             if isinstance(node, (ast.With, ast.AsyncWith))
             for item in node.items
         }
+        # ExitStack.enter_context(span(...)) closes the span on stack exit.
+        with_contexts.update(
+            id(arg)
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call) and _callee(node)[1] == "enter_context"
+            for arg in node.args
+        )
         for node in ast.walk(tree):
             if isinstance(node, ast.Call) and id(node) not in with_contexts:
                 name, attr = _callee(node)

@@ -31,6 +31,16 @@ from .instrument import (
     traced_replay,
 )
 from .memory import MemoryProbe, probe_record
+from .metrics import (
+    METRIC_KEYS,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    metrics_session,
+    parse_prometheus,
+)
 from .report import profile_is_monotone, render_report, summarize
 from .telemetry import (
     Span,
@@ -42,24 +52,36 @@ from .telemetry import (
     telemetry_session,
 )
 from .trace_io import collect_worker_traces, load_trace, merge_traces, write_trace
+from .watch import build_trajectory, discover_baselines, render_watch_report
 
 __all__ = [
+    "METRIC_KEYS",
     "PROFILE_TARGET_SAMPLES",
+    "Histogram",
     "MemoryProbe",
+    "MetricsRegistry",
     "Span",
     "Telemetry",
+    "build_trajectory",
     "collect_worker_traces",
     "disable",
+    "disable_metrics",
+    "discover_baselines",
     "enable",
+    "enable_metrics",
     "finish_profile",
+    "get_metrics",
     "get_telemetry",
     "instrumented_factory",
     "load_trace",
     "merge_traces",
+    "metrics_session",
+    "parse_prometheus",
     "phase",
     "probe_record",
     "profile_is_monotone",
     "render_report",
+    "render_watch_report",
     "summarize",
     "telemetry_session",
     "traced_replay",

@@ -28,29 +28,48 @@ _WORD_BYTES = 4  # the paper's word = one 32-bit integer (CSR entries)
 class MemoryProbe:
     """Context manager measuring peak traced heap bytes over its block.
 
-    Nesting-safe: if tracemalloc is already tracing, the probe reads the
-    peak without stopping the outer trace (it resets the peak counter on
-    entry so the reading covers this block only).
+    Nesting-safe *without side effects on the outer trace*: when
+    ``tracemalloc`` is already tracing (an enclosing probe, or a bench run
+    that started tracing itself), the probe never calls
+    ``tracemalloc.reset_peak()`` — resetting would silently erase the
+    enclosing scope's peak accounting.  Instead it snapshots
+    ``(current, peak)`` at entry and derives this block's peak at exit:
+
+    * if the global peak grew during the block, that new peak *happened
+      here*, so it is exact;
+    * otherwise the block never exceeded the pre-existing peak, and the
+      probe reports the larger of the entry/exit ``current`` readings — a
+      lower bound that is what actually remained allocated, which is the
+      honest answer available without clobbering the outer trace.
     """
 
-    __slots__ = ("peak_bytes", "_started_here")
+    __slots__ = ("peak_bytes", "_started_here", "_entry_current", "_entry_peak")
 
     def __init__(self) -> None:
         self.peak_bytes = 0
         self._started_here = False
+        self._entry_current = 0
+        self._entry_peak = 0
 
     def __enter__(self) -> "MemoryProbe":
         if not tracemalloc.is_tracing():
             tracemalloc.start()
             self._started_here = True
+            self._entry_current = 0
+            self._entry_peak = 0
         else:
-            tracemalloc.reset_peak()
+            self._entry_current, self._entry_peak = tracemalloc.get_traced_memory()
         return self
 
     def __exit__(self, *exc) -> bool:
-        _, self.peak_bytes = tracemalloc.get_traced_memory()
+        current, peak = tracemalloc.get_traced_memory()
         if self._started_here:
+            self.peak_bytes = peak
             tracemalloc.stop()
+        elif peak > self._entry_peak:
+            self.peak_bytes = peak
+        else:
+            self.peak_bytes = max(current, self._entry_current)
         return False
 
 

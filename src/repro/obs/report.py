@@ -20,8 +20,10 @@ def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
     Keys: ``phases`` (per span name: count / wall / top-level wall),
     ``span_total`` (sum of depth-0 span walls — comparable to the run's
     ``MISResult.elapsed``), ``counters``, ``timers``, ``profiles``,
-    ``memory``, ``components`` (pid + wall per component) and
-    ``processes`` (pid → label).
+    ``memory``, ``components`` (pid + wall per component), ``processes``
+    (pid → label), ``requests`` (per request id: span/wall/source/backend
+    attribution, from the serving layer's context stamps) and
+    ``backend_picks`` (the auto dispatcher's per-solve picks).
     """
     phases: Dict[str, Dict[str, float]] = {}
     counters: Dict[str, int] = {}
@@ -30,7 +32,23 @@ def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
     memory: List[Dict[str, object]] = []
     components: Dict[object, Dict[str, object]] = {}
     processes: Dict[object, str] = {}
+    requests: Dict[str, Dict[str, object]] = {}
+    backend_picks: List[Dict[str, object]] = []
     span_total = 0.0
+
+    def _request_cell(request: object) -> Dict[str, object]:
+        return requests.setdefault(
+            str(request),
+            {
+                "spans": 0,
+                "wall": 0.0,
+                "sources": {},
+                "backends": {},
+                "components": set(),
+                "tenant": "",
+            },
+        )
+
     for record in records:
         kind = record.get("type")
         if kind == "meta":
@@ -46,8 +64,10 @@ def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 cell["top_wall"] += wall
                 span_total += wall
             meta = record.get("meta")
+            if not isinstance(meta, dict):
+                meta = {}
             component = record.get("component")
-            if component is None and isinstance(meta, dict):
+            if component is None:
                 component = meta.get("component")
             if component is not None:
                 comp = components.setdefault(
@@ -56,6 +76,25 @@ def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
                 comp["spans"].append(name)
                 if depth == 0:
                     comp["wall"] += wall
+            request = record.get("request") or meta.get("request")
+            if request is not None:
+                req = _request_cell(request)
+                req["spans"] = int(req["spans"]) + 1
+                if depth == 0:
+                    req["wall"] = float(req["wall"]) + wall
+                tenant = record.get("tenant") or meta.get("tenant")
+                if tenant:
+                    req["tenant"] = str(tenant)
+                if component is not None:
+                    req["components"].add(component)  # type: ignore[union-attr]
+                source = meta.get("source")
+                if source is not None:
+                    sources = req["sources"]
+                    sources[source] = sources.get(source, 0) + 1  # type: ignore[union-attr]
+                backend = meta.get("backend")
+                if backend:
+                    backends = req["backends"]
+                    backends[backend] = backends.get(backend, 0) + 1  # type: ignore[union-attr]
         elif kind == "counters":
             for key, amount in dict(record.get("values", {})).items():
                 counters[key] = counters.get(key, 0) + int(amount)
@@ -68,6 +107,17 @@ def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
             profiles.append(record)
         elif kind == "memory":
             memory.append(record)
+        elif kind == "backend_pick":
+            backend_picks.append(record)
+            request = record.get("request")
+            if request is not None:
+                req = _request_cell(request)
+                backend = str(record.get("backend", ""))
+                if backend:
+                    backends = req["backends"]
+                    backends[backend] = backends.get(backend, 0) + 1  # type: ignore[union-attr]
+    for req in requests.values():
+        req["components"] = sorted(req["components"], key=str)  # type: ignore[arg-type]
     return {
         "phases": phases,
         "span_total": span_total,
@@ -77,6 +127,8 @@ def summarize(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "memory": memory,
         "components": components,
         "processes": processes,
+        "requests": requests,
+        "backend_picks": backend_picks,
     }
 
 
@@ -170,6 +222,31 @@ def render_report(records: Sequence[Dict[str, object]], title: str = "") -> str:
                 f"  component {component}: {worker}, "
                 f"{len(cell['spans'])} spans, wall {_format_seconds(cell['wall'])}"
             )
+    requests = summary["requests"]
+    if requests:
+        lines.append("per-request attribution:")
+        for request, cell in sorted(requests.items()):
+            parts = [
+                f"{cell['spans']} spans",
+                f"wall {_format_seconds(float(cell['wall']))}",
+            ]
+            if cell["tenant"]:
+                parts.insert(0, f"tenant {cell['tenant']}")
+            sources = cell["sources"]
+            if sources:
+                parts.append(
+                    "sources "
+                    + "/".join(f"{k}x{v}" for k, v in sorted(sources.items()))
+                )
+            backends = cell["backends"]
+            if backends:
+                parts.append(
+                    "backends "
+                    + "/".join(f"{k}x{v}" for k, v in sorted(backends.items()))
+                )
+            if cell["components"]:
+                parts.append(f"components {cell['components']}")
+            lines.append(f"  {request}: " + ", ".join(parts))
     if not lines:
         lines.append("(empty trace)")
     return "\n".join(lines)

@@ -196,7 +196,16 @@ class Telemetry:
         return samples
 
     def record(self, record: Dict[str, object]) -> None:
-        """Append a free-form record (memory probes, adopted traces …)."""
+        """Append a free-form record (memory probes, backend picks …).
+
+        Like spans and profiles, the record is stamped with the active
+        :meth:`scoped` context fields (request id, tenant, component) —
+        keys the record already carries win.
+        """
+        if self.context:
+            record.update(
+                (k, v) for k, v in self.context.items() if k not in record
+            )
         self.extra.append(record)
 
     def adopt(self, records: Iterable[Dict[str, object]]) -> None:

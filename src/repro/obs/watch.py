@@ -1,0 +1,225 @@
+"""Bench-trajectory watchdog: gated tracks vs. their all-time best.
+
+The committed ``BENCH_PR<N>.json`` baselines are a *trajectory*: one
+snapshot of the perf suite per landed PR.  The CI regression gate
+(:mod:`repro.perf.bench_regression` ``--compare``) only looks at the single
+most recent baseline, so a slow leak — each PR a little worse than the
+last, none of them over the per-PR tolerance — never trips it.  This
+module closes that hole: it reconstructs every gated track's wall-time
+series across all committed baselines and flags any track whose *latest*
+wall sits more than ``tolerance``× above the trajectory's best.
+
+Usage::
+
+    python -m repro obs watch                     # report over ./BENCH_PR*.json
+    python -m repro obs watch --strict            # exit 1 on any flag
+    python -m repro obs watch --json --out w.json # machine-readable
+
+The same trajectory is embedded into fresh bench reports via
+``python -m repro.perf.bench_regression --watch DIR`` (schema 7).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "discover_baselines",
+    "build_trajectory",
+    "render_watch_report",
+    "main",
+]
+
+#: Default headroom over the trajectory best before a track is flagged.
+#: Matches the CI gate's per-PR ``--max-regression`` default so the two
+#: checks share one notion of "too slow".
+DEFAULT_TOLERANCE = 2.0
+
+_BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def _gated_tracks() -> Dict[str, Tuple[str, str]]:
+    # Imported lazily: bench_regression imports this module for --watch,
+    # so a module-level import here would be circular.
+    from ..perf.bench_regression import GATED_TRACKS
+
+    return GATED_TRACKS
+
+
+def discover_baselines(
+    directory: str = ".",
+) -> List[Tuple[int, str, Dict[str, object]]]:
+    """Load every ``BENCH_PR<N>.json`` under ``directory``, ordered by PR.
+
+    Returns ``(pr_number, path, report)`` triples.  Files that fail to
+    parse raise — a corrupted committed baseline should fail loudly, not
+    silently shorten the trajectory.
+    """
+    found: List[Tuple[int, str]] = []
+    for name in os.listdir(directory):
+        match = _BASELINE_PATTERN.match(name)
+        if match:
+            found.append((int(match.group(1)), os.path.join(directory, name)))
+    found.sort()
+    baselines: List[Tuple[int, str, Dict[str, object]]] = []
+    for pr, path in found:
+        with open(path, "r", encoding="utf-8") as handle:
+            baselines.append((pr, path, json.load(handle)))
+    return baselines
+
+
+def build_trajectory(
+    baselines: List[Tuple[int, str, Dict[str, object]]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, object]:
+    """Per-track wall-time series over the baselines, with regression flags.
+
+    For every :data:`~repro.perf.bench_regression.GATED_TRACKS` entry and
+    every graph, the series holds one ``{"pr", "wall"}`` point per
+    baseline that recorded that track (older schemas simply lack the newer
+    tracks — the series starts where the track was introduced).  A track
+    is ``regressed`` when its latest wall exceeds ``tolerance`` times the
+    series' best (fastest) wall; those flags are also collected as
+    human-readable strings under ``"regressions"``.
+    """
+    tracks: Dict[str, Dict[str, Dict[str, object]]] = {}
+    regressions: List[str] = []
+    for track, (record_key, field) in sorted(_gated_tracks().items()):
+        per_graph: Dict[str, Dict[str, object]] = {}
+        for pr, _path, report in baselines:
+            timings = report.get("timings", {})
+            if not isinstance(timings, dict):
+                continue
+            for gname, records in timings.items():
+                record = records.get(record_key) if isinstance(records, dict) else None
+                if not isinstance(record, dict) or field not in record:
+                    continue
+                wall = float(record[field])
+                if wall <= 0:
+                    continue
+                cell = per_graph.setdefault(str(gname), {"series": []})
+                cell["series"].append({"pr": pr, "wall": wall})
+        for gname, cell in per_graph.items():
+            series: List[Dict[str, object]] = cell["series"]  # type: ignore[assignment]
+            best = min(series, key=lambda point: point["wall"])
+            latest = max(series, key=lambda point: point["pr"])
+            ratio = float(latest["wall"]) / float(best["wall"])
+            regressed = ratio > tolerance
+            cell["best"] = dict(best)
+            cell["latest"] = dict(latest)
+            cell["ratio_vs_best"] = ratio
+            cell["regressed"] = regressed
+            if regressed:
+                regressions.append(
+                    f"{track} on {gname}: PR{latest['pr']} wall "
+                    f"{float(latest['wall']):.4f}s is {ratio:.2f}x the trajectory "
+                    f"best {float(best['wall']):.4f}s (PR{best['pr']}; "
+                    f"tolerance {tolerance:.2f}x)"
+                )
+        if per_graph:
+            tracks[track] = per_graph
+    return {
+        "baselines": [
+            {"pr": pr, "path": path, "schema": report.get("schema")}
+            for pr, path, report in baselines
+        ],
+        "tolerance": tolerance,
+        "tracks": tracks,
+        "regressions": regressions,
+    }
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_watch_report(trajectory: Dict[str, object]) -> str:
+    """Human-readable text view of a :func:`build_trajectory` result."""
+    lines: List[str] = []
+    baselines = trajectory.get("baselines", [])
+    prs = ", ".join(f"PR{cell['pr']}" for cell in baselines)  # type: ignore[index]
+    lines.append(
+        f"bench trajectory over {len(baselines)} baselines ({prs}); "
+        f"tolerance {float(trajectory['tolerance']):.2f}x"  # type: ignore[arg-type]
+    )
+    tracks: Dict[str, Dict[str, Dict[str, object]]] = trajectory.get("tracks", {})  # type: ignore[assignment]
+    for track, per_graph in sorted(tracks.items()):
+        lines.append(f"{track}:")
+        for gname, cell in sorted(per_graph.items()):
+            best = cell["best"]
+            latest = cell["latest"]
+            flag = "  REGRESSED" if cell["regressed"] else ""
+            lines.append(
+                f"  {gname}: latest PR{latest['pr']} "  # type: ignore[index]
+                f"{_format_seconds(float(latest['wall']))} vs best "  # type: ignore[index]
+                f"PR{best['pr']} {_format_seconds(float(best['wall']))} "  # type: ignore[index]
+                f"({float(cell['ratio_vs_best']):.2f}x, "
+                f"{len(cell['series'])} points){flag}"  # type: ignore[arg-type]
+            )
+    regressions: List[str] = trajectory.get("regressions", [])  # type: ignore[assignment]
+    if regressions:
+        lines.append(f"{len(regressions)} trajectory regression(s):")
+        lines.extend(f"  {message}" for message in regressions)
+    else:
+        lines.append("no trajectory regressions")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``repro obs watch`` — flag gated tracks that drifted from their best."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs watch", description=__doc__
+    )
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding the committed BENCH_PR*.json baselines",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="flag when latest wall exceeds trajectory best by this ratio",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the trajectory as JSON"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH", help="also write the output to PATH"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any track regressed beyond tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = discover_baselines(args.dir)
+    if not baselines:
+        print(f"no BENCH_PR*.json baselines found under {args.dir!r}")
+        return 1
+    trajectory = build_trajectory(baselines, tolerance=args.tolerance)
+    if args.json:
+        output = json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    else:
+        output = render_watch_report(trajectory) + "\n"
+    print(output, end="")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output)
+    if args.strict and trajectory["regressions"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

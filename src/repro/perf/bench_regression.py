@@ -32,6 +32,13 @@ and a ``telemetry`` section to the report.  The trace comes from a
 *separate untimed pass* after the timed suite — instrumented runs take the
 generic method-call loop, so the gated flat wall times are never measured
 through instrumentation.  See ``docs/observability.md``.
+
+``--watch DIR`` additionally loads every committed ``BENCH_PR*.json``
+under ``DIR`` and embeds the reconstructed per-track trajectory (see
+:mod:`repro.obs.watch`) into the report under ``"trajectory"``, flagging
+any gated track whose latest committed wall drifted more than
+``--watch-tolerance`` from its all-time best — the slow-leak check the
+single-baseline ``--compare`` gate cannot do.
 """
 
 from __future__ import annotations
@@ -69,7 +76,7 @@ __all__ = [
     "main",
 ]
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: The tracks the CI gate watches: record key in ``timings[graph]`` plus
 #: the wall-time field inside it.  LinearTime is the paper's headline
@@ -596,10 +603,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="TRACE",
         help="JSON-lines trace path for --telemetry",
     )
+    parser.add_argument(
+        "--watch",
+        default=None,
+        metavar="DIR",
+        help="embed the BENCH_PR*.json trajectory from DIR into the report",
+    )
+    parser.add_argument(
+        "--watch-tolerance",
+        type=float,
+        default=None,
+        help="trajectory drift ratio for --watch (default: the watchdog's)",
+    )
     args = parser.parse_args(argv)
 
     suite = "smoke" if args.smoke else "quick" if args.quick else args.suite
     report = run_suite(suite, max(1, args.repeats), backend=args.backend)
+    watch_failures: List[str] = []
+    if args.watch:
+        from ..obs.watch import DEFAULT_TOLERANCE, build_trajectory, discover_baselines
+
+        trajectory = build_trajectory(
+            discover_baselines(args.watch),
+            tolerance=(
+                args.watch_tolerance
+                if args.watch_tolerance is not None
+                else DEFAULT_TOLERANCE
+            ),
+        )
+        report["trajectory"] = trajectory
+        watch_failures = list(trajectory["regressions"])
     if args.telemetry:
         records, summary = run_telemetry_pass(suite)
         write_trace(args.telemetry_out, records)
@@ -650,6 +683,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.telemetry:
         print(render_report(records, title=f"telemetry ({args.telemetry_out}):"))
 
+    for message in watch_failures:
+        print(f"TRAJECTORY: {message}", file=sys.stderr)
     if args.compare:
         with open(args.compare) as handle:
             baseline = json.load(handle)
@@ -659,7 +694,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"REGRESSION: {message}", file=sys.stderr)
             return 1
         print(f"regression gate passed against {args.compare}")
-    return 0
+    return 1 if watch_failures else 0
 
 
 if __name__ == "__main__":

@@ -95,6 +95,7 @@ def _solve_flat(
         Union[str, Callable[[Graph], MISResult]],
         int,
         Optional[str],
+        dict,
     ],
 ) -> MISResult:
     """Worker: rebuild a component graph from flat buffers and solve it.
@@ -107,9 +108,19 @@ def _solve_flat(
     ``trace_path`` is ``None`` unless the parent had telemetry enabled; a
     worker cannot share the parent's sink (different process, different
     clock), so it runs its own and flushes it to the given JSON-lines file,
-    stamped with the component id, for the parent to collect and adopt.
+    stamped with ``stamp`` — the component id plus the parent's scoped
+    context fields (request id, tenant) — for the parent to collect and
+    adopt, so worker spans land inside the originating request's tree.
     """
-    offsets_bytes, targets_bytes, name, algorithm, component, trace_path = payload
+    (
+        offsets_bytes,
+        targets_bytes,
+        name,
+        algorithm,
+        component,
+        trace_path,
+        stamp,
+    ) = payload
     offsets = array("q")
     offsets.frombytes(offsets_bytes)
     targets = array("i")
@@ -117,14 +128,12 @@ def _solve_flat(
     graph = Graph(offsets, targets, name=name)
     if trace_path is None:
         return _resolve_algorithm(algorithm)(graph)
-    sink = enable(
-        label=f"worker-component-{component}", context={"component": component}
-    )
+    sink = enable(label=f"worker-component-{component}", context=dict(stamp))
     try:
         return _resolve_algorithm(algorithm)(graph)
     finally:
         disable()
-        write_trace(trace_path, sink.to_records(), stamp={"component": component})
+        write_trace(trace_path, sink.to_records(), stamp=stamp)
 
 
 def solve_by_components_parallel(
@@ -199,6 +208,9 @@ def solve_by_components_parallel(
             trace_paths: List[str] = []
             if telemetry is not None:
                 trace_dir = tempfile.mkdtemp(prefix="repro-obs-")
+            # Parent scoped-context fields (request id, tenant …) ride the
+            # payload so worker traces attribute to the calling request.
+            parent_fields = dict(telemetry.context) if telemetry is not None else {}
             payloads = []
             for index, _, subgraph in pooled:
                 offsets, targets = subgraph.flat_csr()
@@ -209,6 +221,8 @@ def solve_by_components_parallel(
                 )
                 if trace_path is not None:
                     trace_paths.append(trace_path)
+                stamp = dict(parent_fields)
+                stamp["component"] = index
                 payloads.append(
                     (
                         offsets.tobytes(),
@@ -217,6 +231,7 @@ def solve_by_components_parallel(
                         algorithm,
                         index,
                         trace_path,
+                        stamp,
                     )
                 )
             ctx = multiprocessing.get_context(start_method)

@@ -21,6 +21,14 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from ..obs.metrics import (
+    METRIC_SERVE_CACHE_ENTRIES,
+    METRIC_SERVE_CACHE_EVICTIONS,
+    METRIC_SERVE_CACHE_HITS,
+    METRIC_SERVE_CACHE_MISSES,
+    MetricsRegistry,
+)
+
 __all__ = ["CacheEntry", "KernelCache"]
 
 
@@ -87,29 +95,54 @@ class CacheEntry:
 
 
 class KernelCache:
-    """Bounded LRU map ``(fingerprint, algorithm) -> CacheEntry``."""
+    """Bounded LRU map ``(fingerprint, algorithm) -> CacheEntry``.
 
-    def __init__(self, capacity: int = 64) -> None:
+    Traffic accounting lives in a :class:`~repro.obs.metrics.MetricsRegistry`
+    — pass the owning service's registry to share one source of truth, or
+    let the cache build a private one.  The classic ``hits`` / ``misses`` /
+    ``evictions`` attributes are thin read-only views over the registry, so
+    the dict-style :meth:`counters` and a Prometheus scrape can never
+    disagree.
+    """
+
+    def __init__(
+        self, capacity: int = 64, metrics: Optional[MetricsRegistry] = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[str, str], CacheEntry]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            label="kernel-cache"
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        """Lookup hits (registry view)."""
+        return int(self.metrics.value(METRIC_SERVE_CACHE_HITS))
+
+    @property
+    def misses(self) -> int:
+        """Lookup misses (registry view)."""
+        return int(self.metrics.value(METRIC_SERVE_CACHE_MISSES))
+
+    @property
+    def evictions(self) -> int:
+        """LRU evictions (registry view)."""
+        return int(self.metrics.value(METRIC_SERVE_CACHE_EVICTIONS))
 
     def get(self, fingerprint: str, algorithm: str) -> Optional[CacheEntry]:
         """Look up an entry, refreshing its LRU position on a hit."""
         key = (fingerprint, algorithm)
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self.metrics.inc(METRIC_SERVE_CACHE_MISSES)
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self.metrics.inc(METRIC_SERVE_CACHE_HITS)
         return entry
 
     def put(self, entry: CacheEntry) -> None:
@@ -120,11 +153,13 @@ class KernelCache:
         self._entries[key] = entry
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self.metrics.inc(METRIC_SERVE_CACHE_EVICTIONS)
+        self.metrics.set_gauge(METRIC_SERVE_CACHE_ENTRIES, len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe traffic)."""
         self._entries.clear()
+        self.metrics.set_gauge(METRIC_SERVE_CACHE_ENTRIES, 0)
 
     @property
     def hit_rate(self) -> float:

@@ -16,6 +16,13 @@ Request shapes (``op`` selects the verb, everything else is its payload)::
     {"op": "stats"}
     {"op": "save", "path": "service.snapshot.json"}
 
+Any request may also carry ``"rid"`` (a caller-chosen request id) and
+``"tenant"``: they become the request's
+:class:`~repro.serve.context.RequestContext`, so the service stamps every
+telemetry span and metric of that request with them; requests without a
+``rid`` get an auto-numbered one.  The response echoes the ``rid`` it used
+(chosen or assigned), which is how a log line joins its span tree.
+
 Every response echoes ``op`` (and ``id`` when present), carries
 ``"ok": true`` on success, and ``"ok": false`` plus ``"error"`` on
 failure — a bad request never tears down the service or the stream.
@@ -28,6 +35,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, TextIO
 
 from ..errors import ReproError
 from ..graphs.static_graph import Graph
+from .context import RequestContext
 from .dynamic_graph import Mutation
 from .service import ServeResult, SolverService
 
@@ -58,6 +66,7 @@ def _result_payload(result: ServeResult) -> Dict[str, object]:
         "is_exact": result.is_exact,
         "exact_bound": result.exact_bound,
         "source": result.source,
+        "backend": result.backend,
         "stale": result.stale,
         "elapsed": result.elapsed,
     }
@@ -71,7 +80,11 @@ def handle_request(
 ) -> Dict[str, object]:
     """Execute one request against ``service``; never raises for bad input."""
     op = request.get("op")
-    response: Dict[str, object] = {"op": op, "ok": True}
+    context = RequestContext.create(
+        request_id=str(request["rid"]) if "rid" in request else None,
+        tenant=str(request.get("tenant", "")),
+    )
+    response: Dict[str, object] = {"op": op, "ok": True, "rid": context.request_id}
     if "id" in request:
         response["id"] = request["id"]
     try:
@@ -80,6 +93,7 @@ def handle_request(
             graph_id = service.register(
                 graph,
                 graph_id=str(request["id"]) if "id" in request else None,
+                context=context,
             )
             response["id"] = graph_id
             response["n"] = graph.n
@@ -89,25 +103,32 @@ def handle_request(
             timeout = request.get("timeout")
             timeout = None if timeout is None else float(timeout)  # type: ignore[arg-type]
             if op == "solve":
-                response.update(_result_payload(service.solve(graph_id, timeout)))
+                result = service.solve(graph_id, timeout, context=context)
+                response.update(_result_payload(result))
             else:
-                response["upper_bound"] = service.upper_bound(graph_id, timeout)
+                response["upper_bound"] = service.upper_bound(
+                    graph_id, timeout, context=context
+                )
         elif op == "mutate":
             graph_id = str(request["id"])
             mutations = [
                 Mutation.from_list(raw)  # type: ignore[arg-type]
                 for raw in request.get("mutations", [])  # type: ignore[union-attr]
             ]
-            response["dirty"] = service.apply(graph_id, mutations)
+            response["dirty"] = service.apply(graph_id, mutations, context=context)
             response["mutations"] = len(mutations)
         elif op == "add_edge":
-            service.add_edge(str(request["id"]), int(request["u"]), int(request["v"]))  # type: ignore[arg-type]
+            service.add_edge(
+                str(request["id"]), int(request["u"]), int(request["v"]), context  # type: ignore[arg-type]
+            )
         elif op == "remove_edge":
-            service.remove_edge(str(request["id"]), int(request["u"]), int(request["v"]))  # type: ignore[arg-type]
+            service.remove_edge(
+                str(request["id"]), int(request["u"]), int(request["v"]), context  # type: ignore[arg-type]
+            )
         elif op == "add_vertex":
-            response["vertex"] = service.add_vertex(str(request["id"]))
+            response["vertex"] = service.add_vertex(str(request["id"]), context)
         elif op == "remove_vertex":
-            service.remove_vertex(str(request["id"]), int(request["v"]))  # type: ignore[arg-type]
+            service.remove_vertex(str(request["id"]), int(request["v"]), context)  # type: ignore[arg-type]
         elif op == "unregister":
             service.unregister(str(request["id"]))
         elif op == "stats":

@@ -23,19 +23,25 @@ a request loop can sit on top of:
   round-trip the whole service state (graphs, solutions, kernels, cache)
   through JSON for disk persistence.
 
-Telemetry: every public entry point opens a phase span (``serve:*``) and
-bumps the registered ``serve:*`` counters when a sink is active, so cache
-hit-rates and repair scopes show up in ``repro obs report`` next to the
-solver phases.
+Observability: every public entry point opens a phase span (``serve:*``),
+stamped with the request's :class:`~repro.serve.context.RequestContext`
+(request id, tenant) so a query's solver phases — including per-component
+worker spans from the parallel driver — merge into one request span tree.
+Request latency, cache traffic, repair-vs-fresh and timeout-degradation
+counts publish into a :class:`~repro.obs.metrics.MetricsRegistry`; the
+classic :meth:`SolverService.counters` dict is a thin view over it, so the
+headless stats and a Prometheus scrape can never drift apart.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
 
+from ..core.auto import STAT_AUTO_FLAT, STAT_AUTO_VEC
 from ..core.kernel import KernelResult, kernelize
 from ..core.result import (
     MISResult,
@@ -50,13 +56,65 @@ from ..core.result import (
 )
 from ..errors import ReproError
 from ..graphs.static_graph import Graph
+from ..obs.metrics import (
+    METRIC_SERVE_CACHE_HITS,
+    METRIC_SERVE_CACHE_MISSES,
+    METRIC_SERVE_FULL_RESOLVES,
+    METRIC_SERVE_GRAPHS,
+    METRIC_SERVE_MUTATIONS,
+    METRIC_SERVE_REPAIR_COMPONENTS,
+    METRIC_SERVE_REPAIR_VERTICES,
+    METRIC_SERVE_REPAIRS,
+    METRIC_SERVE_REQUEST_SECONDS,
+    METRIC_SERVE_REQUESTS,
+    METRIC_SERVE_SOLVER_SECONDS,
+    METRIC_SERVE_STALE_RETURNS,
+    MetricsRegistry,
+    get_metrics,
+)
 from ..obs.telemetry import get_telemetry, phase
 from ..perf.parallel import DEFAULT_PARALLEL_THRESHOLD
 from .cache import CacheEntry, KernelCache
+from .context import RequestContext
 from .dynamic_graph import DynamicGraph, Mutation
 from .repair import cold_solve, patch_solution, repair_solution
 
 __all__ = ["ServeResult", "ServiceConfig", "SolverService", "SNAPSHOT_VERSION"]
+
+#: Old-style event keys (``serve:*`` stat counters, kept for telemetry and
+#: the :attr:`SolverService.events` view) mapped to their registry series.
+_EVENT_METRICS: Dict[str, str] = {
+    STAT_SERVE_CACHE_HIT: METRIC_SERVE_CACHE_HITS,
+    STAT_SERVE_CACHE_MISS: METRIC_SERVE_CACHE_MISSES,
+    STAT_SERVE_REPAIR: METRIC_SERVE_REPAIRS,
+    STAT_SERVE_REPAIR_VERTICES: METRIC_SERVE_REPAIR_VERTICES,
+    STAT_SERVE_REPAIR_COMPONENTS: METRIC_SERVE_REPAIR_COMPONENTS,
+    STAT_SERVE_FULL_RESOLVE: METRIC_SERVE_FULL_RESOLVES,
+    STAT_SERVE_STALE_RETURN: METRIC_SERVE_STALE_RETURNS,
+    STAT_SERVE_MUTATIONS: METRIC_SERVE_MUTATIONS,
+}
+
+#: Events whose registry series the shared :class:`KernelCache` already
+#: increments — ``_bump`` must not count them a second time.
+_CACHE_COUNTED = frozenset({STAT_SERVE_CACHE_HIT, STAT_SERVE_CACHE_MISS})
+
+
+def _backend_of(algorithm: str, rule_counts: Optional[Dict[str, int]]) -> str:
+    """Which execution backend produced a solution (span/metric label).
+
+    ``*_auto`` results carry the dispatcher's pick in their rule counters;
+    fixed backends are named by the algorithm itself.
+    """
+    if rule_counts:
+        if rule_counts.get(STAT_AUTO_VEC):
+            return "vectorized"
+        if rule_counts.get(STAT_AUTO_FLAT):
+            return "flat"
+    if algorithm.endswith("_vec"):
+        return "vectorized"
+    if algorithm.endswith("_auto"):
+        return "auto"
+    return "flat"
 
 SNAPSHOT_VERSION = 1
 
@@ -113,7 +171,11 @@ class ServeResult:
     ``"repair"`` (localized repair) or ``"stale"`` (budget exhausted — the
     patched last-known-good solution; ``stale`` is True only here).
     ``exact_bound`` marks ``upper_bound`` as a Theorem-6.1 certificate
-    rather than the trivial live-vertex count.
+    rather than the trivial live-vertex count.  ``backend`` attributes the
+    answer to the execution backend that produced it (``"flat"`` /
+    ``"vectorized"``, resolved through the auto dispatcher's pick counters
+    for ``*_auto`` algorithms; ``"none"`` for stale returns, where no
+    solver ran).
     """
 
     graph_id: str
@@ -123,6 +185,7 @@ class ServeResult:
     is_exact: bool
     exact_bound: bool
     source: str
+    backend: str = ""
     stale: bool = False
     elapsed: float = 0.0
     repair_scope: Dict[str, int] = field(default_factory=dict)
@@ -161,14 +224,36 @@ class _GraphState:
 class SolverService:
     """A long-lived, mutation-aware independent-set solving service."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config or ServiceConfig()
-        self.cache = KernelCache(self.config.cache_capacity)
+        #: One registry shared by the service, its cache, and — when the
+        #: process enabled metrics globally — the exposition endpoints.
+        #: Sharing is load-bearing: it is what keeps :meth:`counters` and a
+        #: Prometheus scrape reading the same numbers.
+        self.metrics = metrics or get_metrics() or MetricsRegistry(label="serve")
+        self.cache = KernelCache(self.config.cache_capacity, metrics=self.metrics)
         self._graphs: Dict[str, _GraphState] = {}
         self._counter = 0
-        #: Service-level event counters (mirrors the telemetry counters so
-        #: headless runs can still report hit rates).
-        self.events: Dict[str, int] = {}
+
+    @property
+    def events(self) -> Dict[str, int]:
+        """Classic ``serve:*`` event counters — a view over the registry.
+
+        Only events that fired appear (matching the historical dict-of-
+        bumps behaviour); cache hit/miss counts are the cache's own
+        registry series, so this view and ``cache.counters()`` agree by
+        construction.
+        """
+        view: Dict[str, int] = {}
+        for key, metric in _EVENT_METRICS.items():
+            value = int(self.metrics.total(metric))
+            if value:
+                view[key] = value
+        return view
 
     # ------------------------------------------------------------------
     # Registration and mutation
@@ -177,6 +262,7 @@ class SolverService:
         self,
         graph: Union[Graph, DynamicGraph],
         graph_id: Optional[str] = None,
+        context: Optional[RequestContext] = None,
     ) -> str:
         """Admit a graph; returns its handle.
 
@@ -194,16 +280,19 @@ class SolverService:
             raise ReproError(f"graph id {graph_id!r} already registered")
         dynamic = graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
         state = _GraphState(graph_id, dynamic)
-        with phase(telemetry, "serve:register", graph=graph_id):
-            snapshot, _ = dynamic.snapshot()
-            state.kernel = kernelize(snapshot, method=self.config.kernel_method)
+        with self._request_scope(telemetry, context):
+            with phase(telemetry, "serve:register", graph=graph_id):
+                snapshot, _ = dynamic.snapshot()
+                state.kernel = kernelize(snapshot, method=self.config.kernel_method)
         self._graphs[graph_id] = state
+        self.metrics.set_gauge(METRIC_SERVE_GRAPHS, len(self._graphs))
         return graph_id
 
     def unregister(self, graph_id: str) -> None:
         """Forget a handle (cache entries persist until evicted)."""
         self._state(graph_id)
         del self._graphs[graph_id]
+        self.metrics.set_gauge(METRIC_SERVE_GRAPHS, len(self._graphs))
 
     def graph_ids(self) -> List[str]:
         """The registered handles, in registration order."""
@@ -217,57 +306,95 @@ class SolverService:
         """The most recent register-time / full-resolve kernel state."""
         return self._state(graph_id).kernel
 
-    def add_edge(self, graph_id: str, u: int, v: int) -> None:
+    def add_edge(
+        self,
+        graph_id: str,
+        u: int,
+        v: int,
+        context: Optional[RequestContext] = None,
+    ) -> None:
         """Insert edge ``(u, v)`` (dynamic ids); marks the endpoints dirty."""
-        self._mutate(graph_id, [Mutation("add_edge", u, v)])
+        self._mutate(graph_id, [Mutation("add_edge", u, v)], context)
 
-    def remove_edge(self, graph_id: str, u: int, v: int) -> None:
+    def remove_edge(
+        self,
+        graph_id: str,
+        u: int,
+        v: int,
+        context: Optional[RequestContext] = None,
+    ) -> None:
         """Delete edge ``(u, v)``; marks the endpoints dirty."""
-        self._mutate(graph_id, [Mutation("remove_edge", u, v)])
+        self._mutate(graph_id, [Mutation("remove_edge", u, v)], context)
 
-    def add_vertex(self, graph_id: str) -> int:
+    def add_vertex(
+        self, graph_id: str, context: Optional[RequestContext] = None
+    ) -> int:
         """Allocate a fresh isolated vertex; returns its dynamic id."""
         state = self._state(graph_id)
         before = state.dynamic.n_allocated
-        self._mutate(graph_id, [Mutation("add_vertex")])
+        self._mutate(graph_id, [Mutation("add_vertex")], context)
         return before
 
-    def remove_vertex(self, graph_id: str, v: int) -> None:
+    def remove_vertex(
+        self, graph_id: str, v: int, context: Optional[RequestContext] = None
+    ) -> None:
         """Delete vertex ``v``; marks its former neighbours dirty."""
-        self._mutate(graph_id, [Mutation("remove_vertex", v)])
+        self._mutate(graph_id, [Mutation("remove_vertex", v)], context)
 
-    def apply(self, graph_id: str, mutations: Iterable[Mutation]) -> int:
+    def apply(
+        self,
+        graph_id: str,
+        mutations: Iterable[Mutation],
+        context: Optional[RequestContext] = None,
+    ) -> int:
         """Apply a mutation batch; returns the number of dirty seeds added."""
-        return self._mutate(graph_id, list(mutations))
+        return self._mutate(graph_id, list(mutations), context)
 
-    def _mutate(self, graph_id: str, mutations: List[Mutation]) -> int:
+    def _mutate(
+        self,
+        graph_id: str,
+        mutations: List[Mutation],
+        context: Optional[RequestContext] = None,
+    ) -> int:
+        start = time.perf_counter()
         telemetry = get_telemetry()
         state = self._state(graph_id)
-        with phase(
-            telemetry, "serve:mutate", graph=graph_id, mutations=len(mutations)
-        ) as span:
-            dirty = state.dynamic.apply(mutations)
-            # Seeds that died inside the batch were already folded into
-            # their neighbours' dirtiness by DynamicGraph.apply; stale
-            # survivors from previous batches are re-validated here.
-            state.dirty = {
-                v for v in (state.dirty | dirty) if state.dynamic.is_live(v)
-            }
-            span.meta["dirty"] = len(state.dirty)
+        with self._request_scope(telemetry, context):
+            with phase(
+                telemetry, "serve:mutate", graph=graph_id, mutations=len(mutations)
+            ) as span:
+                dirty = state.dynamic.apply(mutations)
+                # Seeds that died inside the batch were already folded into
+                # their neighbours' dirtiness by DynamicGraph.apply; stale
+                # survivors from previous batches are re-validated here.
+                state.dirty = {
+                    v for v in (state.dirty | dirty) if state.dynamic.is_live(v)
+                }
+                span.meta["dirty"] = len(state.dirty)
         self._bump(STAT_SERVE_MUTATIONS, len(mutations), telemetry)
+        self.metrics.inc(METRIC_SERVE_REQUESTS, op="mutate")
+        self.metrics.observe(
+            METRIC_SERVE_REQUEST_SECONDS, time.perf_counter() - start, op="mutate"
+        )
         return len(dirty)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def solve(self, graph_id: str, timeout: Optional[float] = None) -> ServeResult:
+    def solve(
+        self,
+        graph_id: str,
+        timeout: Optional[float] = None,
+        context: Optional[RequestContext] = None,
+    ) -> ServeResult:
         """Answer an independent-set query for the handle's current graph.
 
         Resolution order: fingerprint cache hit → localized repair (when
         only a bounded region is dirty) → full re-kernelize-and-solve.
         ``timeout`` (seconds, default ``config.default_timeout``) bounds
-        the work; on exhaustion the last-known-good solution is patched to
-        feasibility and returned with ``stale=True``.
+        the work; a ``context`` deadline tightens it further.  On
+        exhaustion the last-known-good solution is patched to feasibility
+        and returned with ``stale=True``.
         """
         start = time.perf_counter()
         telemetry = get_telemetry()
@@ -275,13 +402,30 @@ class SolverService:
         if timeout is None:
             timeout = self.config.default_timeout
         deadline = None if timeout is None else start + timeout
-        with phase(telemetry, "serve:solve", graph=graph_id) as span:
-            result = self._solve_locked(state, deadline, telemetry, start)
-            span.meta["source"] = result.source
-            span.meta["size"] = result.size
+        if context is not None and context.deadline is not None:
+            deadline = (
+                context.deadline
+                if deadline is None
+                else min(deadline, context.deadline)
+            )
+        with self._request_scope(telemetry, context):
+            with phase(telemetry, "serve:solve", graph=graph_id) as span:
+                result = self._solve_locked(state, deadline, telemetry, start)
+                span.meta["source"] = result.source
+                span.meta["size"] = result.size
+                span.meta["backend"] = result.backend
+        self.metrics.inc(METRIC_SERVE_REQUESTS, op="solve", source=result.source)
+        self.metrics.observe(
+            METRIC_SERVE_REQUEST_SECONDS, result.elapsed, op="solve"
+        )
         return result
 
-    def upper_bound(self, graph_id: str, timeout: Optional[float] = None) -> int:
+    def upper_bound(
+        self,
+        graph_id: str,
+        timeout: Optional[float] = None,
+        context: Optional[RequestContext] = None,
+    ) -> int:
         """A certified Theorem-6.1 upper bound for the current graph.
 
         Served from the cache when the cached entry carries a certificate;
@@ -289,13 +433,14 @@ class SolverService:
         trivial bound, which this endpoint refuses to return unless the
         timeout leaves no alternative).
         """
-        result = self.solve(graph_id, timeout=timeout)
+        result = self.solve(graph_id, timeout=timeout, context=context)
         if result.exact_bound:
             return result.upper_bound
         state = self._state(graph_id)
         telemetry = get_telemetry()
-        with phase(telemetry, "serve:upper-bound", graph=graph_id):
-            entry = self._cold_entry(state, telemetry)
+        with self._request_scope(telemetry, context):
+            with phase(telemetry, "serve:upper-bound", graph=graph_id):
+                entry = self._cold_entry(state, telemetry)
         snapshot, old_ids = state.dynamic.snapshot()
         state.solution = frozenset(old_ids[v] for v in entry.solution)
         state.stale = False
@@ -331,6 +476,7 @@ class SolverService:
                 is_exact=entry.is_exact,
                 exact_bound=entry.exact_bound,
                 source="cache",
+                backend=_backend_of(algorithm, entry.rule_counts),
                 elapsed=time.perf_counter() - start,
             )
         self._bump(STAT_SERVE_CACHE_MISS, 1, telemetry)
@@ -408,6 +554,13 @@ class SolverService:
         self._bump(STAT_SERVE_REPAIR, 1, telemetry)
         self._bump(STAT_SERVE_REPAIR_VERTICES, outcome.region_size, telemetry)
         self._bump(STAT_SERVE_REPAIR_COMPONENTS, outcome.components, telemetry)
+        backend = _backend_of(self.config.algorithm, None)
+        self.metrics.observe(
+            METRIC_SERVE_SOLVER_SECONDS,
+            outcome.solver_elapsed,
+            mode="repair",
+            backend=backend,
+        )
         return ServeResult(
             graph_id=state.graph_id,
             algorithm=self.config.algorithm,
@@ -416,6 +569,7 @@ class SolverService:
             is_exact=False,
             exact_bound=False,
             source="repair",
+            backend=backend,
             elapsed=time.perf_counter() - start,
             repair_scope=outcome.scope(),
         )
@@ -450,6 +604,7 @@ class SolverService:
             is_exact=False,
             exact_bound=False,
             source="stale",
+            backend="none",
             stale=True,
             elapsed=time.perf_counter() - start,
         )
@@ -476,6 +631,7 @@ class SolverService:
             is_exact=entry.is_exact,
             exact_bound=True,
             source="cold",
+            backend=_backend_of(self.config.algorithm, entry.rule_counts),
             elapsed=time.perf_counter() - start,
         )
 
@@ -499,6 +655,12 @@ class SolverService:
             )
             state.kernel = kernelize(snapshot, method=self.config.kernel_method)
         self._bump(STAT_SERVE_FULL_RESOLVE, 1, telemetry)
+        self.metrics.observe(
+            METRIC_SERVE_SOLVER_SECONDS,
+            result.elapsed,
+            mode="cold",
+            backend=_backend_of(self.config.algorithm, dict(result.stats)),
+        )
         entry = CacheEntry(
             fingerprint=fingerprint,
             algorithm=self.config.algorithm,
@@ -637,8 +799,28 @@ class SolverService:
                 f"registered: {sorted(self._graphs)}"
             ) from None
 
+    @staticmethod
+    @contextmanager
+    def _request_scope(telemetry, context: Optional[RequestContext]):
+        """The span-stamping scope of one request.
+
+        With telemetry active every span the request opens (including
+        solver phases and parallel worker spans, through the trace stamp)
+        carries the request id and tenant; with telemetry off this is a
+        free pass-through — no context object is even allocated.
+        """
+        if telemetry is None:
+            yield
+            return
+        ctx = context if context is not None else RequestContext.create()
+        with telemetry.scoped(**ctx.trace_fields()):
+            yield
+
     def _bump(self, key: str, amount: int, telemetry) -> None:
-        self.events[key] = self.events.get(key, 0) + amount
+        if key not in _CACHE_COUNTED:
+            # Cache hits/misses are already counted (once) by the shared
+            # cache registry; everything else lands here.
+            self.metrics.inc(_EVENT_METRICS[key], amount)
         if telemetry is not None:
             telemetry.count(key, amount)
 

@@ -13,6 +13,13 @@ births and deaths), and after every batch:
 A final pass round-trips the service through :meth:`SolverService.save` /
 :meth:`SolverService.load` and re-queries, so snapshot persistence is part
 of the smoke surface.  Exit code 0 means every gate held.
+
+With ``--metrics-out`` / ``--trace-out`` the gauntlet also exercises the
+observability stack: the run executes inside a metrics session (and a
+telemetry session for tracing), and extra gates assert that the Prometheus
+exposition parses, that solve-latency p99 quantiles are populated, that
+every request produced stamped spans, and — under an ``*_auto`` algorithm
+— that backend-pick attribution reached both metrics and the trace.
 """
 
 from __future__ import annotations
@@ -21,10 +28,23 @@ import argparse
 import random
 import sys
 import tempfile
+from contextlib import ExitStack
 from typing import List, Optional
 
 from ..analysis import assert_valid_solution
 from ..graphs.generators import power_law_graph
+from ..obs.metrics import (
+    METRIC_AUTO_BACKEND_PICKS,
+    METRIC_SERVE_REQUEST_SECONDS,
+    METRIC_SERVE_REQUESTS,
+    METRIC_SERVE_SOLVER_SECONDS,
+    MetricsRegistry,
+    metrics_session,
+    parse_prometheus,
+    quantile_samples,
+)
+from ..obs.telemetry import Telemetry, telemetry_session
+from ..obs.trace_io import write_trace
 from .dynamic_graph import DynamicGraph, Mutation
 from .repair import cold_solve
 from .service import ServiceConfig, SolverService
@@ -64,6 +84,73 @@ def _random_mutations(
     return mutations
 
 
+def _verify_observability(
+    metrics: Optional[MetricsRegistry],
+    telemetry: Optional[Telemetry],
+    algorithm: str,
+    verbose: bool,
+) -> int:
+    """Gate the obs leg of the smoke: exposition, quantiles, spans, picks."""
+    failures = 0
+
+    def gate(ok: bool, label: str) -> None:
+        nonlocal failures
+        if not ok:
+            failures += 1
+        if verbose or not ok:
+            print(f"[{'ok ' if ok else 'FAIL'}] obs: {label}")
+
+    if metrics is not None:
+        exposition = metrics.to_prometheus()
+        try:
+            samples = parse_prometheus(exposition)
+        except ValueError as exc:
+            samples = {}
+            gate(False, f"prometheus exposition parses ({exc})")
+        else:
+            gate(bool(samples), "prometheus exposition parses")
+        gate(
+            metrics.total(METRIC_SERVE_REQUESTS) > 0,
+            "serve request counter populated",
+        )
+        solve_p99 = quantile_samples(samples, METRIC_SERVE_REQUEST_SECONDS, "p99")
+        gate(
+            any(value > 0 for value in solve_p99),
+            "request-latency p99 quantiles populated",
+        )
+        solver_p99 = quantile_samples(samples, METRIC_SERVE_SOLVER_SECONDS, "p99")
+        gate(
+            any(value > 0 for value in solver_p99),
+            "solver-latency p99 quantiles populated",
+        )
+        if algorithm.endswith("_auto"):
+            gate(
+                metrics.total(METRIC_AUTO_BACKEND_PICKS) > 0,
+                "auto backend picks counted",
+            )
+    if telemetry is not None:
+        records = telemetry.to_records()
+        requests = {
+            record.get("meta", {}).get("request")
+            for record in records
+            if record.get("type") == "span" and record.get("meta", {}).get("request")
+        }
+        gate(bool(requests), f"spans stamped with request ids ({len(requests)})")
+        backends = {
+            record.get("meta", {}).get("backend")
+            for record in records
+            if record.get("type") == "span"
+        }
+        gate(
+            any(backends - {None, ""}),
+            "solve spans carry backend attribution",
+        )
+        if algorithm.endswith("_auto"):
+            picks = [r for r in records if r.get("type") == "backend_pick"]
+            gate(bool(picks), "backend_pick records present in trace")
+    return failures
+
+
 def run_smoke(
     n: int = 2_000,
     mutations: int = 100,
@@ -71,8 +158,44 @@ def run_smoke(
     seed: int = 7,
     algorithm: str = "linear_time",
     verbose: bool = True,
+    metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
 ) -> int:
     """Run the register → mutate → query gauntlet; returns failures."""
+    with ExitStack() as stack:
+        metrics = None
+        telemetry = None
+        if metrics_out is not None:
+            # Entered before the service is built so it adopts the global
+            # registry; the service then feeds the exposition we assert on.
+            metrics = stack.enter_context(metrics_session(label="serve-smoke"))
+        if trace_out is not None:
+            telemetry = stack.enter_context(telemetry_session(label="serve-smoke"))
+        failures = _run_gauntlet(n, mutations, batch, seed, algorithm, verbose)
+        failures += _verify_observability(metrics, telemetry, algorithm, verbose)
+        if metrics is not None and metrics_out:
+            if metrics_out.endswith(".jsonl"):
+                metrics.write_jsonl(metrics_out)
+            else:
+                with open(metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(metrics.to_prometheus())
+            if verbose:
+                print(f"# metrics written to {metrics_out}")
+        if telemetry is not None and trace_out:
+            write_trace(trace_out, telemetry.to_records())
+            if verbose:
+                print(f"# trace written to {trace_out}")
+    return failures
+
+
+def _run_gauntlet(
+    n: int,
+    mutations: int,
+    batch: int,
+    seed: int,
+    algorithm: str,
+    verbose: bool,
+) -> int:
     rng = random.Random(seed)
     graph = power_law_graph(n, beta=2.2, seed=seed)
     service = SolverService(ServiceConfig(algorithm=algorithm))
@@ -146,6 +269,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--algorithm", default="linear_time")
     parser.add_argument("--quiet", action="store_true")
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="run inside a metrics session, gate the exposition, and write "
+        "it here (.jsonl for records, anything else for Prometheus text)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="run inside a telemetry session, gate per-request spans, and "
+        "write the trace here (JSONL)",
+    )
     args = parser.parse_args(argv)
     failures = run_smoke(
         n=args.n,
@@ -154,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         algorithm=args.algorithm,
         verbose=not args.quiet,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
     )
     return 1 if failures else 0
 

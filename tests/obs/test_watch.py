@@ -1,0 +1,151 @@
+"""The bench-trajectory watchdog over synthetic committed baselines.
+
+Fixtures write small ``BENCH_PR<N>.json`` files into a tmpdir shaped like
+the real bench_regression reports (``timings[graph][track][field]``), so
+the tests pin the whole surface: discovery/ordering, series
+reconstruction across schemas that lack newer tracks, the slow-leak flag
+the per-PR CI gate cannot see, rendering, and the CLI exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.watch import (
+    DEFAULT_TOLERANCE,
+    build_trajectory,
+    discover_baselines,
+    main,
+    render_watch_report,
+)
+
+
+def _write_baseline(directory, pr, walls, schema=6):
+    """walls: {graph: {record_key: {field: wall}}}"""
+    report = {"schema": schema, "suite": "full", "timings": walls}
+    path = directory / f"BENCH_PR{pr}.json"
+    path.write_text(json.dumps(report))
+    return path
+
+
+def _timings(flat_wall, repair_wall=None):
+    cell = {"LinearTime": {"flat_wall": flat_wall}}
+    if repair_wall is not None:
+        cell["ServeIncremental"] = {"repair_wall": repair_wall}
+    return {"gnm-3k": cell}
+
+
+class TestDiscovery:
+    def test_orders_by_pr_number(self, tmp_path):
+        _write_baseline(tmp_path, 10, _timings(0.5))
+        _write_baseline(tmp_path, 2, _timings(0.4))
+        baselines = discover_baselines(str(tmp_path))
+        assert [pr for pr, _, _ in baselines] == [2, 10]
+
+    def test_ignores_non_baseline_files(self, tmp_path):
+        _write_baseline(tmp_path, 1, _timings(0.4))
+        (tmp_path / "BENCH_quick.json").write_text("{}")
+        (tmp_path / "notes.txt").write_text("hi")
+        assert len(discover_baselines(str(tmp_path))) == 1
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        (tmp_path / "BENCH_PR3.json").write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            discover_baselines(str(tmp_path))
+
+
+class TestTrajectory:
+    def test_flags_regression_past_tolerance(self, tmp_path):
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        _write_baseline(tmp_path, 2, _timings(0.11))
+        _write_baseline(tmp_path, 3, _timings(0.25))  # 2.5x the best
+        trajectory = build_trajectory(
+            discover_baselines(str(tmp_path)), tolerance=2.0
+        )
+        cell = trajectory["tracks"]["linear_time"]["gnm-3k"]
+        assert cell["best"] == {"pr": 1, "wall": 0.10}
+        assert cell["latest"] == {"pr": 3, "wall": 0.25}
+        assert cell["regressed"]
+        assert len(trajectory["regressions"]) == 1
+        message = trajectory["regressions"][0]
+        assert "linear_time on gnm-3k" in message
+        assert "PR3" in message and "2.50x" in message
+
+    def test_within_tolerance_is_clean(self, tmp_path):
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        _write_baseline(tmp_path, 2, _timings(0.15))
+        trajectory = build_trajectory(
+            discover_baselines(str(tmp_path)), tolerance=2.0
+        )
+        assert trajectory["regressions"] == []
+        assert not trajectory["tracks"]["linear_time"]["gnm-3k"]["regressed"]
+
+    def test_recovery_after_slow_middle_is_clean(self, tmp_path):
+        # Only the LATEST point is gated: a slow middle PR that later
+        # recovered is history, not a regression.
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        _write_baseline(tmp_path, 2, _timings(0.50))
+        _write_baseline(tmp_path, 3, _timings(0.12))
+        trajectory = build_trajectory(discover_baselines(str(tmp_path)))
+        assert trajectory["regressions"] == []
+
+    def test_series_starts_where_track_introduced(self, tmp_path):
+        _write_baseline(tmp_path, 1, _timings(0.10))  # no serve track yet
+        _write_baseline(tmp_path, 2, _timings(0.11, repair_wall=0.02))
+        trajectory = build_trajectory(discover_baselines(str(tmp_path)))
+        assert len(trajectory["tracks"]["linear_time"]["gnm-3k"]["series"]) == 2
+        serve = trajectory["tracks"]["serve_incremental"]["gnm-3k"]
+        assert serve["series"] == [{"pr": 2, "wall": 0.02}]
+
+    def test_zero_and_missing_walls_are_skipped(self, tmp_path):
+        _write_baseline(tmp_path, 1, {"gnm-3k": {"LinearTime": {"flat_wall": 0.0}}})
+        _write_baseline(tmp_path, 2, {"gnm-3k": {"LinearTime": {"other": 1.0}}})
+        trajectory = build_trajectory(discover_baselines(str(tmp_path)))
+        assert trajectory["tracks"] == {}
+
+    def test_baseline_metadata_recorded(self, tmp_path):
+        _write_baseline(tmp_path, 4, _timings(0.1), schema=5)
+        trajectory = build_trajectory(discover_baselines(str(tmp_path)))
+        assert trajectory["tolerance"] == DEFAULT_TOLERANCE
+        (entry,) = trajectory["baselines"]
+        assert entry["pr"] == 4 and entry["schema"] == 5
+
+
+class TestRenderAndCli:
+    def test_render_mentions_flags_and_points(self, tmp_path):
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        _write_baseline(tmp_path, 2, _timings(0.30))
+        trajectory = build_trajectory(
+            discover_baselines(str(tmp_path)), tolerance=2.0
+        )
+        text = render_watch_report(trajectory)
+        assert "linear_time:" in text
+        assert "REGRESSED" in text
+        assert "1 trajectory regression(s):" in text
+
+    def test_render_clean_run(self, tmp_path):
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        trajectory = build_trajectory(discover_baselines(str(tmp_path)))
+        assert "no trajectory regressions" in render_watch_report(trajectory)
+
+    def test_main_strict_exit_codes(self, tmp_path, capsys):
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        _write_baseline(tmp_path, 2, _timings(0.30))
+        assert main(["--dir", str(tmp_path)]) == 0
+        assert main(["--dir", str(tmp_path), "--strict"]) == 1
+        assert (
+            main(["--dir", str(tmp_path), "--strict", "--tolerance", "4.0"]) == 0
+        )
+        capsys.readouterr()
+
+    def test_main_no_baselines_is_an_error(self, tmp_path, capsys):
+        assert main(["--dir", str(tmp_path)]) == 1
+        assert "no BENCH_PR*.json" in capsys.readouterr().out
+
+    def test_main_json_out(self, tmp_path, capsys):
+        _write_baseline(tmp_path, 1, _timings(0.10))
+        out = tmp_path / "watch.json"
+        assert main(["--dir", str(tmp_path), "--json", "--out", str(out)]) == 0
+        capsys.readouterr()
+        written = json.loads(out.read_text())
+        assert written["tracks"]["linear_time"]["gnm-3k"]["series"]

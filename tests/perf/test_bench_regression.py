@@ -247,3 +247,64 @@ def test_smoke_suite_serve_incremental_track(tmp_path):
         assert rec["fresh_wall"] > 0
         assert rec["size"] >= 0.95 * rec["fresh_size"]
         assert rec["mutations_per_round"] == bench_regression._SERVE_MUTATIONS_PER_ROUND
+
+
+def _write_watch_baseline(directory, pr, wall):
+    report = {
+        "schema": 6,
+        "suite": "full",
+        "timings": {"gnm-3k": {"LinearTime": {"flat_wall": wall}}},
+    }
+    (directory / f"BENCH_PR{pr}.json").write_text(json.dumps(report))
+
+
+def test_watch_embeds_trajectory_and_gates(tmp_path, capsys):
+    # A committed trajectory whose latest point regressed 3x past its best
+    # must fail the run (exit 1) and land in the report, even though the
+    # fresh smoke timings themselves are fine.
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+    _write_watch_baseline(baselines, 1, 0.10)
+    _write_watch_baseline(baselines, 2, 0.30)
+    out = tmp_path / "report.json"
+    code = bench_regression.main(
+        [
+            "--smoke",
+            "--out",
+            str(out),
+            "--repeats",
+            "1",
+            "--watch",
+            str(baselines),
+        ]
+    )
+    assert code == 1
+    assert "TRAJECTORY" in capsys.readouterr().err
+    report = json.loads(out.read_text())
+    trajectory = report["trajectory"]
+    assert trajectory["tracks"]["linear_time"]["gnm-3k"]["regressed"]
+    assert len(trajectory["regressions"]) == 1
+
+
+def test_watch_clean_trajectory_passes(tmp_path):
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+    _write_watch_baseline(baselines, 1, 0.10)
+    _write_watch_baseline(baselines, 2, 0.11)
+    out = tmp_path / "report.json"
+    code = bench_regression.main(
+        [
+            "--smoke",
+            "--out",
+            str(out),
+            "--repeats",
+            "1",
+            "--watch",
+            str(baselines),
+            "--watch-tolerance",
+            "2.0",
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["trajectory"]["regressions"] == []

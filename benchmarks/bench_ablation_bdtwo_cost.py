@@ -17,6 +17,7 @@ from conftest import emit
 
 from repro.bench import format_seconds, render_table
 from repro.core import bdtwo, linear_time
+from repro.core.result import STAT_DEGREE_TWO_FOLDING
 from repro.graphs import bdtwo_lower_bound_family
 
 LEVELS = [6, 8, 10, 12]
@@ -34,7 +35,7 @@ def _sweep():
                 levels,
                 graph.n,
                 graph.m,
-                two.stats.get("degree-two-folding", 0),
+                two.stats.get(STAT_DEGREE_TWO_FOLDING, 0),
                 format_seconds(two.elapsed),
                 format_seconds(lt.elapsed),
             ]

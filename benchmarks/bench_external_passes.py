@@ -13,6 +13,7 @@ from conftest import emit
 
 from repro.bench import dataset_names, load, render_table
 from repro.core import bdone
+from repro.core.result import STAT_PASSES
 from repro.external import semi_external_bdone
 
 
@@ -26,7 +27,7 @@ def _sweep():
             [
                 name,
                 graph.n,
-                external.stats["passes"],
+                external.stats[STAT_PASSES],
                 external.size,
                 internal.size,
                 "yes" if external.is_exact else "no",

@@ -25,9 +25,12 @@ __all__ = [
 def is_independent_set(graph: Graph, vertices: Iterable[int]) -> bool:
     """Whether ``vertices`` is an independent set of ``graph``."""
     selected = set(vertices)
-    if any(not 0 <= v < graph.n for v in selected):
+    # Deterministic scan order (the verifier sits on decision-log paths,
+    # and RL009 cannot know the boolean is order-independent).
+    ordered = sorted(selected)
+    if any(not 0 <= v < graph.n for v in ordered):
         return False
-    for v in selected:
+    for v in ordered:
         for w in graph.neighbors(v):
             if w in selected:
                 return False

@@ -366,6 +366,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv.extend(["--rules", args.rules])
     if args.list_rules:
         argv.append("--list-rules")
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.cache:
+        argv.extend(["--cache", args.cache])
+    if args.baseline:
+        argv.extend(["--baseline", args.baseline])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.sarif_out:
+        argv.extend(["--sarif-out", args.sarif_out])
     return lint_run(argv)
 
 
@@ -577,9 +589,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src", "tests"])
     lint.add_argument("--strict", action="store_true")
-    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument(
+        "--format", choices=("human", "json", "sarif"), default="human"
+    )
     lint.add_argument("--rules", default=None, metavar="RLxxx[,RLxxx...]")
     lint.add_argument("--list-rules", action="store_true")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N")
+    lint.add_argument("--cache", default=None, metavar="PATH")
+    lint.add_argument("--baseline", default=None, metavar="PATH")
+    lint.add_argument("--no-baseline", action="store_true")
+    lint.add_argument("--update-baseline", action="store_true")
+    lint.add_argument("--sarif-out", default=None, metavar="PATH")
     lint.set_defaults(handler=_cmd_lint)
     return parser
 

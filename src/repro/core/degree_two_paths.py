@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from .hotpath import hot_loop
 from .result import (
     STAT_PATH_ANCHOR_SHARED,
     STAT_PATH_CYCLE,
@@ -80,6 +81,7 @@ class PathDiscovery:
 
     __slots__ = ("path", "v", "w", "is_cycle")
 
+    @hot_loop
     def __init__(
         self, path: List[int], v: Optional[int], w: Optional[int], is_cycle: bool
     ) -> None:
@@ -89,6 +91,7 @@ class PathDiscovery:
         self.is_cycle = is_cycle
 
 
+@hot_loop
 def _walk(workspace: Any, start: int, first: int) -> Tuple[List[int], Optional[int]]:
     """Walk from ``start`` through ``first`` along degree-two vertices.
 
@@ -114,6 +117,7 @@ def _walk(workspace: Any, start: int, first: int) -> Tuple[List[int], Optional[i
     return interior, cur
 
 
+@hot_loop
 def find_maximal_degree_two_path(workspace: Any, u: int) -> PathDiscovery:
     """Discover the maximal degree-two path or cycle containing ``u``.
 
@@ -131,6 +135,7 @@ def find_maximal_degree_two_path(workspace: Any, u: int) -> PathDiscovery:
     return PathDiscovery(path, left_anchor, right_anchor, False)
 
 
+@hot_loop
 def apply_degree_two_path_reduction(workspace: Any, u: int) -> str:
     """Apply Lemma 4.1 to the maximal path/cycle through ``u``.
 

@@ -388,6 +388,7 @@ class FlatTriangleWorkspace:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    @hot_loop
     def include(self, v: int) -> None:
         """Commit degree-zero ``v`` to the solution."""
         self.alive[v] = 0
@@ -395,6 +396,7 @@ class FlatTriangleWorkspace:
         self._live_deg_sum -= self.deg[v]
         self.log.include(v)
 
+    @hot_loop
     def _refile(self, w: int) -> None:
         d = self.deg[w]
         if d == 0:

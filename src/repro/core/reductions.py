@@ -231,10 +231,14 @@ def is_unconfined(graph: Graph, v: int) -> bool:
     while True:
         best_w: Optional[FrozenSet[int]] = None
         frontier = set()
-        for s in in_s:
+        for s in sorted(in_s):
             frontier.update(graph.neighbors(s))
         frontier -= in_s
-        for u in frontier:
+        # Sorted scan: ties between candidate extenders are broken by
+        # vertex id, not set hash order, so the S grown here (and any
+        # decision downstream of the confined/unconfined verdict) is
+        # identical across processes.
+        for u in sorted(frontier):
             s_neighbours = sum(1 for x in graph.neighbors(u) if x in in_s)
             if s_neighbours != 1:
                 continue

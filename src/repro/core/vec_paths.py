@@ -126,6 +126,7 @@ def _gather_from(workspace: Any, cache: PathPairCache, cand: Any) -> None:
     have[cand] = 1
 
 
+@hot_loop
 def _pair_of(workspace: Any, v: int, cache: PathPairCache) -> Tuple[int, int]:
     """``v``'s two live neighbours (row order), from the cache or a row scan."""
     if cache.have[v]:
@@ -209,6 +210,7 @@ def vec_delete_vertex(workspace: Any, v: int, reason: str) -> None:
     workspace._live_deg_sum -= dv + k
 
 
+@hot_loop
 def _remove_path_batch(workspace: Any, seg: List[int]) -> None:
     """Silently retire a run of degree-two path vertices in bulk.
 
@@ -227,6 +229,7 @@ def _remove_path_batch(workspace: Any, seg: List[int]) -> None:
     workspace._live_deg_sum -= 2 * k
 
 
+@hot_loop
 def _reduce_one(workspace: Any, u: int, cache: PathPairCache) -> str:
     """Apply Lemma 4.1 to the maximal path/cycle through ``u`` (batched).
 

@@ -93,6 +93,7 @@ def _require_numpy() -> Any:
     return _np
 
 
+@hot_loop
 def _push_entries(
     entries: List[Tuple[int, Tuple[int, ...]]], kind: int, batch: Any
 ) -> None:

@@ -9,12 +9,27 @@ those contracts statically, so a refactor that quietly reintroduces a
 per-iteration dict or an unregistered stat key fails ``make lint``
 instead of a perf run three PRs later.
 
+Since PR 9 the engine is *whole-project*: it indexes every function
+across the run, builds a call graph (direct calls, registry dispatch,
+oracle-hook indirection — :mod:`repro.lint.graph`) over a dataflow
+substrate (:mod:`repro.lint.dataflow`), and runs four cross-module
+rules on top: RL006 transitive hot-loop purity, RL007 fork safety,
+RL008 request-context propagation, RL009 decision-log determinism.
+Runs are incremental (:mod:`repro.lint.cache`), baseline-aware
+(:mod:`repro.lint.baseline`) and can emit SARIF
+(:mod:`repro.lint.sarif`).
+
 Layout mirrors :mod:`repro.obs`:
 
 * :mod:`repro.lint.findings` — the :class:`Finding` record and severities;
-* :mod:`repro.lint.engine` — file discovery, suppression comments
-  (``# reprolint: disable=RL001``), rule driving;
-* :mod:`repro.lint.rules` — one module per rule (RL001–RL005);
+* :mod:`repro.lint.engine` — discovery, caching pipeline, suppression
+  comments (``# reprolint: disable=RL001``), rule driving;
+* :mod:`repro.lint.dataflow` / :mod:`repro.lint.graph` — name
+  resolution, function index, call graph;
+* :mod:`repro.lint.rules` — one module per rule (RL001–RL009);
+* :mod:`repro.lint.cache` / :mod:`repro.lint.baseline` /
+  :mod:`repro.lint.sarif` — incremental state, accepted findings,
+  code-scanning output;
 * :mod:`repro.lint.cli` — the ``python -m repro.lint`` / ``repro lint``
   front end.
 
@@ -25,34 +40,53 @@ Programmatic use::
     assert not blocking(findings)
 """
 
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import LintCache
 from .cli import main, run
 from .engine import (
     LintModule,
+    LintRun,
     blocking,
     iter_python_files,
     lint_modules,
     lint_paths,
     lint_source,
+    lint_sources,
     load_module,
+    run_lint,
 )
 from .findings import ADVICE, ERROR, Finding
+from .graph import CallGraph, Project, ProjectIndex
 from .rules import ALL_RULES, RULES_BY_ID, Rule, default_rules
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
     "ADVICE",
     "ALL_RULES",
+    "CallGraph",
     "ERROR",
     "Finding",
+    "LintCache",
     "LintModule",
+    "LintRun",
+    "Project",
+    "ProjectIndex",
     "RULES_BY_ID",
     "Rule",
+    "apply_baseline",
     "blocking",
     "default_rules",
     "iter_python_files",
     "lint_modules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "load_baseline",
     "load_module",
     "main",
+    "render_sarif",
     "run",
+    "run_lint",
+    "to_sarif",
+    "write_baseline",
 ]

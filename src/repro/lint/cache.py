@@ -1,0 +1,143 @@
+"""On-disk incremental cache for reprolint runs.
+
+Two invalidation granularities, matching the two analysis granularities:
+
+* **Per-file** — module-rule findings (RL001–RL003, RL005) are keyed by
+  the sha256 of the file's *source text*.  Any edit re-lints just that
+  file.
+* **Whole-project** — project/graph-rule findings (RL004, RL006–RL009)
+  are keyed by a digest over every file's *AST hash* (sha256 of
+  ``ast.dump``).  The AST hash is the practical approximation of the
+  "import/def surface": comment and formatting edits keep the project
+  analysis warm, while any semantic edit — which could add a call edge —
+  soundly rebuilds the graph.
+
+The cache stores **raw** (pre-suppression, pre-baseline) findings;
+suppression comments are re-read from the current source text on every
+run, so editing a ``# reprolint: disable=`` line takes effect without
+invalidating anything.  A cache entry also carries the engine/rules key
+(rule ids + versions); a mismatch resets the whole file, so stale
+formats can never leak findings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["LintCache"]
+
+_VERSION = 2
+
+
+class LintCache:
+    """Load/save the incremental state; ``path=None`` disables persistence."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self.file_hits = 0
+        self.project_hit = False
+        self.data: Dict[str, object] = self._empty()
+        if path and os.path.exists(path):
+            self._load(path)
+
+    @staticmethod
+    def _empty() -> Dict[str, object]:
+        return {
+            "version": _VERSION,
+            "rules_key": "",
+            "files": {},
+            "project": {"key": "", "findings": []},
+        }
+
+    def _load(self, path: str) -> None:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _VERSION
+            and isinstance(payload.get("files"), dict)
+            and isinstance(payload.get("project"), dict)
+        ):
+            self.data = payload
+
+    # ------------------------------------------------------------------
+    def configure(self, rules_key: str) -> None:
+        """Reset the cache when the engine/rule surface changed."""
+        if self.data.get("rules_key") != rules_key:
+            self.data = self._empty()
+            self.data["rules_key"] = rules_key
+
+    # ------------------------------------------------------------------
+    def lookup_file(
+        self, path: str, content_hash: str
+    ) -> Optional[Tuple[str, List[Finding]]]:
+        """``(ast_hash, raw module findings)`` when the source is unchanged."""
+        entry = self.data["files"].get(path)  # type: ignore[union-attr]
+        if not isinstance(entry, dict) or entry.get("content") != content_hash:
+            return None
+        try:
+            findings = [Finding.from_json(r) for r in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.file_hits += 1
+        return str(entry.get("ast", "")), findings
+
+    def store_file(
+        self,
+        path: str,
+        content_hash: str,
+        ast_hash: str,
+        findings: Sequence[Finding],
+    ) -> None:
+        self.data["files"][path] = {  # type: ignore[index]
+            "content": content_hash,
+            "ast": ast_hash,
+            "findings": [f.to_json() for f in findings],
+        }
+
+    def prune(self, keep_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the run."""
+        keep = set(keep_paths)
+        files = self.data["files"]
+        for path in list(files):  # type: ignore[union-attr]
+            if path not in keep:
+                del files[path]  # type: ignore[index]
+
+    # ------------------------------------------------------------------
+    def lookup_project(self, key: str) -> Optional[List[Finding]]:
+        """Raw project+graph findings when no file's AST surface changed."""
+        entry = self.data["project"]
+        if not isinstance(entry, dict) or entry.get("key") != key or not key:
+            return None
+        try:
+            findings = [Finding.from_json(r) for r in entry.get("findings", [])]
+        except (KeyError, TypeError, ValueError):
+            return None
+        self.project_hit = True
+        return findings
+
+    def store_project(self, key: str, findings: Sequence[Finding]) -> None:
+        self.data["project"] = {
+            "key": key,
+            "findings": [f.to_json() for f in findings],
+        }
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Atomically persist (no-op when created with ``path=None``)."""
+        if not self.path:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.data, handle)
+        os.replace(tmp, self.path)

@@ -3,16 +3,31 @@
 Invoked as ``python -m repro.lint [paths...]`` or via the ``repro lint``
 subcommand.  Exit status is 0 when no blocking findings remain: errors
 always block; advice blocks only under ``--strict``.
+
+A committed ``lint-baseline.json`` in the working directory is applied
+automatically (``--no-baseline`` opts out, ``--baseline PATH`` points
+elsewhere), so new rules gate on *regressions* while the absorbed
+pre-existing findings stay visible via the summary line.  ``--cache``
+enables the on-disk incremental state, ``--jobs`` parses files in
+parallel, and ``--sarif-out``/``--format sarif`` emit SARIF 2.1.0 for
+GitHub code scanning.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
-from .engine import blocking, lint_paths
+from .baseline import (
+    BASELINE_FILENAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import LintRun, blocking, run_lint
 from .findings import ADVICE, Finding
 
 __all__ = ["build_parser", "main", "run"]
@@ -24,8 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=(
-            "reprolint: AST checks for the repo's hot-path, telemetry, "
-            "stat-key, oracle-hook, and dtype contracts"
+            "reprolint: per-file and whole-project AST checks for the repo's "
+            "hot-path, telemetry, stat-key, oracle-hook, dtype, fork-safety, "
+            "request-context and determinism contracts"
         ),
     )
     parser.add_argument(
@@ -41,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -56,16 +72,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files with N processes (0 = one per CPU; default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="persist incremental lint state at PATH (off by default)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of accepted findings "
+            f"(default: ./{BASELINE_FILENAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="re-record the current findings as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--sarif-out",
+        metavar="PATH",
+        default=None,
+        help="additionally write a SARIF 2.1.0 report to PATH",
+    )
     return parser
 
 
-def _render(findings: Sequence[Finding], fmt: str, strict: bool) -> str:
+def _render(
+    findings: Sequence[Finding],
+    fmt: str,
+    strict: bool,
+    run_info: LintRun,
+    baselined: int,
+    stale: int,
+) -> str:
     if fmt == "json":
         payload = {
             "findings": [finding.to_json() for finding in findings],
             "errors": sum(1 for f in findings if f.severity != ADVICE),
             "advice": sum(1 for f in findings if f.severity == ADVICE),
             "strict": strict,
+            "baselined": baselined,
+            "baseline_stale": stale,
+            "files": run_info.files,
+            "parsed": run_info.parsed,
+            "file_cache_hits": run_info.file_cache_hits,
+            "project_cache_hit": run_info.project_cache_hit,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
     lines = [finding.render() for finding in findings]
@@ -73,11 +140,33 @@ def _render(findings: Sequence[Finding], fmt: str, strict: bool) -> str:
     advice = len(findings) - errors
     if findings:
         lines.append("")
-    lines.append(
+    summary = (
         f"reprolint: {errors} error(s), {advice} advice finding(s)"
         + (" [strict]" if strict else "")
     )
+    if baselined:
+        summary += f", {baselined} baselined"
+    if run_info.file_cache_hits or run_info.project_cache_hit:
+        summary += (
+            f", {run_info.file_cache_hits}/{run_info.files} files cached"
+            + (" +graph" if run_info.project_cache_hit else "")
+        )
+    if stale:
+        summary += (
+            f", {stale} stale baseline entr"
+            + ("y" if stale == 1 else "ies")
+            + " (refresh with --update-baseline)"
+        )
+    lines.append(summary)
     return "\n".join(lines)
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[str]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    return BASELINE_FILENAME if os.path.exists(BASELINE_FILENAME) else None
 
 
 def run(argv: Optional[Sequence[str]] = None) -> int:
@@ -87,20 +176,53 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
         from .rules import ALL_RULES
 
         for cls in ALL_RULES:
-            print(f"{cls.rule_id}  {cls.name:24s} {cls.summary}")
+            print(f"{cls.rule_id}  {cls.name:28s} {cls.summary}")
         return 0
     rules = None
     if args.rules:
         from .rules import default_rules
 
-        wanted: List[str] = [part.strip() for part in args.rules.split(",") if part.strip()]
+        wanted: List[str] = [
+            part.strip() for part in args.rules.split(",") if part.strip()
+        ]
         try:
             rules = default_rules(wanted)
         except KeyError as exc:
             print(f"reprolint: {exc.args[0]}", file=sys.stderr)
             return 2
-    findings = lint_paths(args.paths, rules=rules)
-    print(_render(findings, args.format, args.strict))
+    from .cache import LintCache
+
+    cache = LintCache(args.cache)
+    run_info = run_lint(args.paths, rules=rules, jobs=args.jobs, cache=cache)
+    findings = run_info.findings
+
+    baseline_path = args.baseline or BASELINE_FILENAME
+    if args.update_baseline:
+        count = write_baseline(baseline_path, findings)
+        print(f"reprolint: wrote {count} baseline entr"
+              + ("y" if count == 1 else "ies")
+              + f" to {baseline_path}")
+        return 0
+
+    baselined = stale = 0
+    resolved = _resolve_baseline(args)
+    if resolved is not None:
+        findings, baselined, stale = apply_baseline(
+            findings, load_baseline(resolved)
+        )
+
+    if args.sarif_out or args.format == "sarif":
+        from .rules import default_rules as _default
+        from .sarif import render_sarif
+
+        report = render_sarif(findings, rules if rules is not None else _default())
+        if args.sarif_out:
+            with open(args.sarif_out, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+        if args.format == "sarif":
+            print(report)
+    if args.format != "sarif":
+        print(_render(findings, args.format, args.strict, run_info, baselined, stale))
     return 1 if blocking(findings, strict=args.strict) else 0
 
 

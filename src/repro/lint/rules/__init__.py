@@ -3,15 +3,23 @@
 One module per rule, mirroring the one-contract-per-module layout of the
 rest of the code base:
 
-========  ======================  =============================================
-Rule      Name                    Contract
-========  ======================  =============================================
-RL001     hot-loop-purity         ``@hot_loop`` kernels stay allocation-free
-RL002     telemetry-discipline    spans close; hot loops stay silent
-RL003     stat-key-registry       stat keys come from ``repro.core.result``
-RL004     oracle-hook-parity      hook-exposing modules have differential tests
-RL005     flat-buffer-dtype       numpy constructions pin ``dtype=``
-========  ======================  =============================================
+========  ===========================  ========================================
+Rule      Name                         Contract
+========  ===========================  ========================================
+RL001     hot-loop-purity              ``@hot_loop`` kernels stay allocation-free
+RL002     telemetry-discipline         spans close; hot loops stay silent
+RL003     stat-key-registry            stat keys come from ``repro.core.result``
+RL004     oracle-hook-parity           hook-exposing modules have differential tests
+RL005     flat-buffer-dtype            numpy constructions pin ``dtype=``
+RL006     transitive-hot-loop          @hot_loop closure stays @hot_loop
+RL007     fork-safety                  worker payloads leave global state alone
+RL008     request-context-propagation  serve verbs thread RequestContext/timeout
+RL009     decision-log-determinism     log paths avoid set order / global RNGs
+========  ===========================  ========================================
+
+RL001–RL005 are per-file (``check_module``/``check_project``);
+RL006–RL009 are cross-module (``check_graph``) and run over the project
+call graph built by :mod:`repro.lint.graph`.
 
 To add a rule: write ``rules/<name>.py`` subclassing
 :class:`~repro.lint.rules.base.Rule`, give it a fresh ``RLxxx`` id, and
@@ -24,21 +32,29 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Type
 
 from .base import Rule, decorator_names, is_hot_loop
+from .context_flow import RequestContextRule
+from .determinism import DecisionLogDeterminismRule
 from .dtype import DtypeDisciplineRule
+from .fork_safety import ForkSafetyRule
 from .hot_loop import HotLoopPurityRule
 from .oracle_parity import OracleHookParityRule
 from .stat_keys import StatKeyRegistryRule
 from .telemetry import TelemetryDisciplineRule
+from .transitive_hot import TransitiveHotLoopRule
 
 __all__ = [
     "ALL_RULES",
     "RULES_BY_ID",
     "Rule",
+    "DecisionLogDeterminismRule",
     "DtypeDisciplineRule",
+    "ForkSafetyRule",
     "HotLoopPurityRule",
     "OracleHookParityRule",
+    "RequestContextRule",
     "StatKeyRegistryRule",
     "TelemetryDisciplineRule",
+    "TransitiveHotLoopRule",
     "decorator_names",
     "default_rules",
     "is_hot_loop",
@@ -51,6 +67,10 @@ ALL_RULES: Sequence[Type[Rule]] = (
     StatKeyRegistryRule,
     OracleHookParityRule,
     DtypeDisciplineRule,
+    TransitiveHotLoopRule,
+    ForkSafetyRule,
+    RequestContextRule,
+    DecisionLogDeterminismRule,
 )
 
 #: Rule classes keyed by their ``RLxxx`` identifier.

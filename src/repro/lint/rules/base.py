@@ -8,6 +8,11 @@ A rule is a small stateless object with a class-level identity
 * :meth:`Rule.check_project` — whole-run analysis for rules that need to
   cross-reference files (RL004 walks the test ASTs to certify the source
   modules); receives every module of the run.
+* :meth:`Rule.check_graph` — call-graph analysis for the cross-module
+  rules (RL006–RL009); receives a :class:`~repro.lint.graph.Project`
+  exposing the function index, dataflow scopes and call graph.  The
+  engine only builds the project view when at least one active rule
+  overrides this hook.
 
 Rules yield :class:`~repro.lint.findings.Finding` records; the engine
 owns suppression filtering and ordering.  New rules register themselves
@@ -56,6 +61,14 @@ class Rule:
 
     def check_project(self, modules: Sequence[LintModule]) -> Iterable[Finding]:
         """Whole-run analysis over every module (cross-file rules only)."""
+        return ()
+
+    def check_graph(self, project: "object") -> Iterable[Finding]:
+        """Call-graph analysis over a :class:`~repro.lint.graph.Project`.
+
+        Only the cross-module rules override this; the engine skips
+        project-graph construction entirely when no active rule does.
+        """
         return ()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 emission for GitHub code-scanning annotations.
+
+One run, one tool (``reprolint``), one result per finding.  Severities
+map ``error`` → ``"error"`` and ``advice`` → ``"note"``; every active
+rule contributes a ``rules`` metadata entry so the code-scanning UI can
+show the contract summary next to each annotation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .findings import ERROR, Finding
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def to_sarif(findings: Sequence[Finding], rules: Sequence) -> Dict[str, object]:
+    """The SARIF payload as a plain dict (``json.dump``-ready)."""
+    rule_meta: List[Dict[str, object]] = []
+    rule_index: Dict[str, int] = {}
+    for rule in rules:
+        rule_index[rule.rule_id] = len(rule_meta)
+        rule_meta.append(
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary or rule.name},
+            }
+        )
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        message = finding.message
+        if finding.fixit:
+            message = f"{message} (fix: {finding.fixit})"
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": "error" if finding.severity == ERROR else "note",
+            "message": {"text": message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/static-analysis"
+                        ),
+                        "rules": rule_meta,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Sequence[Finding], rules: Sequence) -> str:
+    """The SARIF payload serialised for ``--format sarif``/``--sarif-out``."""
+    return json.dumps(to_sarif(findings, rules), indent=2, sort_keys=True)

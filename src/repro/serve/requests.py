@@ -130,7 +130,7 @@ def handle_request(
         elif op == "remove_vertex":
             service.remove_vertex(str(request["id"]), int(request["v"]), context)  # type: ignore[arg-type]
         elif op == "unregister":
-            service.unregister(str(request["id"]))
+            service.unregister(str(request["id"]), context=context)
         elif op == "stats":
             response["counters"] = service.counters()
         elif op == "save":

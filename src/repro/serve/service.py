@@ -288,10 +288,15 @@ class SolverService:
         self.metrics.set_gauge(METRIC_SERVE_GRAPHS, len(self._graphs))
         return graph_id
 
-    def unregister(self, graph_id: str) -> None:
+    def unregister(
+        self, graph_id: str, context: Optional[RequestContext] = None
+    ) -> None:
         """Forget a handle (cache entries persist until evicted)."""
+        telemetry = get_telemetry()
         self._state(graph_id)
-        del self._graphs[graph_id]
+        with self._request_scope(telemetry, context):
+            with phase(telemetry, "serve:unregister", graph=graph_id):
+                del self._graphs[graph_id]
         self.metrics.set_gauge(METRIC_SERVE_GRAPHS, len(self._graphs))
 
     def graph_ids(self) -> List[str]:

@@ -19,6 +19,7 @@ from repro.lint import (
     default_rules,
     lint_paths,
     lint_source,
+    lint_sources,
 )
 from repro.lint.cli import run as lint_cli
 from repro.lint.findings import Finding
@@ -66,6 +67,49 @@ class TestSuppressions:
     def test_unsuppressed_fixture_still_fires(self):
         assert [f.rule_id for f in lint_source(BAD_HOT_LOOP)] == ["RL001"]
 
+    def test_file_level_disable_after_imports(self):
+        # The directive does not have to be the first line: a waiver added
+        # below the import block (the natural place to document it) works.
+        source = BAD_HOT_LOOP.replace(
+            "from repro.core import hot_loop",
+            "from repro.core import hot_loop\n\n"
+            "# reprolint: disable-file=RL001",
+        )
+        assert lint_source(source) == []
+
+    def test_decorator_line_disable_covers_def_line(self):
+        # RL006 anchors on the helper's def line; a waiver on the decorator
+        # line above it must count (that is where humans put the comment).
+        sources = {
+            "src/repro/core/kern.py": textwrap.dedent(
+                """
+                from repro.core.hotpath import hot_loop
+
+                from .helpers import collapse
+
+                @hot_loop
+                def kernel(ws):
+                    collapse(ws)
+                """
+            ),
+            "src/repro/core/helpers.py": textwrap.dedent(
+                """
+                import functools
+
+                @functools.lru_cache  # reprolint: disable=RL006
+                def collapse(ws):
+                    return ws
+                """
+            ),
+        }
+        assert lint_sources(sources, rules=default_rules(["RL006"])) == []
+        undisabled = dict(sources)
+        undisabled["src/repro/core/helpers.py"] = undisabled[
+            "src/repro/core/helpers.py"
+        ].replace("  # reprolint: disable=RL006", "")
+        findings = lint_sources(undisabled, rules=default_rules(["RL006"]))
+        assert [f.rule_id for f in findings] == ["RL006"]
+
 
 class TestSeverities:
     def test_blocking_ignores_advice_by_default(self):
@@ -79,7 +123,17 @@ class TestRegistry:
     def test_rule_ids_are_unique_and_sequential(self):
         ids = [cls.rule_id for cls in ALL_RULES]
         assert ids == sorted(set(ids))
-        assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert ids == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+        ]
 
     def test_default_rules_subset_and_unknown(self):
         assert [r.rule_id for r in default_rules(["RL002"])] == ["RL002"]
@@ -133,6 +187,131 @@ class TestCli:
             assert cls.rule_id in out
 
 
+class TestBaseline:
+    def _finding(self, rule="RL003", path="src/repro/x.py", line=3, msg="m"):
+        return Finding(rule, path, line, 0, msg, severity=ADVICE)
+
+    def test_apply_baseline_partitions(self):
+        from repro.lint import apply_baseline
+
+        known = self._finding(msg="known")
+        fresh = self._finding(msg="fresh")
+        baseline = [known.fingerprint(), ("RL003", "gone.py", "fixed")]
+        kept, suppressed, stale = apply_baseline([known, fresh], baseline)
+        assert kept == [fresh]
+        assert suppressed == 1
+        assert stale == 1
+
+    def test_matching_is_count_aware(self):
+        from repro.lint import apply_baseline
+
+        twice = [self._finding(line=3), self._finding(line=9)]
+        kept, suppressed, stale = apply_baseline(
+            twice, [twice[0].fingerprint()]
+        )
+        # Same fingerprint, one budget entry: only one is absorbed.
+        assert len(kept) == 1
+        assert (suppressed, stale) == (1, 0)
+
+    def test_write_then_load_roundtrip(self, tmp_path):
+        from repro.lint import load_baseline, write_baseline
+
+        path = tmp_path / "lint-baseline.json"
+        findings = [self._finding(msg="a"), self._finding(msg="b")]
+        assert write_baseline(str(path), findings) == 2
+        assert sorted(load_baseline(str(path))) == sorted(
+            f.fingerprint() for f in findings
+        )
+
+    def test_load_tolerates_garbage(self, tmp_path):
+        from repro.lint import load_baseline
+
+        path = tmp_path / "lint-baseline.json"
+        path.write_text("not json at all {")
+        assert load_baseline(str(path)) == []
+        assert load_baseline(str(tmp_path / "missing.json")) == []
+
+    def test_cli_update_baseline_then_strict_pass(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "legacy.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(BAD_HOT_LOOP)
+        baseline = tmp_path / "lint-baseline.json"
+
+        assert (
+            lint_cli(
+                [
+                    str(target),
+                    "--baseline",
+                    str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert baseline.exists()
+
+        # With the violation absorbed, strict runs gate only regressions.
+        assert (
+            lint_cli([str(target), "--strict", "--baseline", str(baseline)])
+            == 0
+        )
+        assert "baselined" in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_structure_and_levels(self):
+        from repro.lint import to_sarif
+
+        findings = [
+            Finding("RL001", "src/repro/x.py", 3, 0, "boom", severity=ERROR),
+            Finding("RL003", "src/repro/y.py", 5, 2, "meh", severity=ADVICE),
+        ]
+        doc = to_sarif(findings, default_rules())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == [cls.rule_id for cls in ALL_RULES]
+        levels = [r["level"] for r in run["results"]]
+        assert levels == ["error", "note"]
+        location = run["results"][0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/x.py"
+        assert location["region"]["startLine"] == 3
+
+    def test_cli_sarif_out_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(BAD_HOT_LOOP)
+        out = tmp_path / "lint.sarif"
+        assert lint_cli([str(target), "--sarif-out", str(out)]) == 1
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        results = payload["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["RL001"]
+
+    def test_cli_sarif_format_to_stdout(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("X = 1\n")
+        assert lint_cli([str(target), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []
+
+
+class TestCliFlags:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        for i in range(10):
+            (tree / f"mod_{i}.py").write_text(f"VALUE_{i} = {i}\n")
+        cache = tmp_path / "cache.json"
+        args = [str(tree), "--jobs", "0", "--cache", str(cache)]
+        assert lint_cli(args) == 0
+        capsys.readouterr()
+        assert cache.exists()
+        assert lint_cli(args) == 0
+        assert "cached" in capsys.readouterr().out
+
+
 class TestRepoIsClean:
     def test_src_and_tests_have_no_blocking_findings(self):
         findings = lint_paths(
@@ -143,3 +322,20 @@ class TestRepoIsClean:
         )
         offenders = blocking(findings)
         assert offenders == [], "\n".join(f.render() for f in offenders)
+
+    def test_all_four_trees_strict_with_committed_baseline(self, monkeypatch):
+        # The CI gate, replicated exactly: every lint tree, every rule,
+        # strict severity, with the committed baseline subtracted.  Runs
+        # from the repo root with relative paths — baseline fingerprints
+        # store repo-relative paths, exactly as CI invokes the linter.
+        # The baseline must also be tight — no stale entries.
+        from repro.lint import apply_baseline, load_baseline
+
+        monkeypatch.chdir(REPO_ROOT)
+        findings = lint_paths(["src", "tests", "benchmarks", "examples"])
+        fingerprints = load_baseline("lint-baseline.json")
+        assert fingerprints, "committed lint-baseline.json must load"
+        kept, _, stale = apply_baseline(findings, fingerprints)
+        offenders = blocking(kept, strict=True)
+        assert offenders == [], "\n".join(f.render() for f in offenders)
+        assert stale == 0, "baseline has stale entries; refresh it"

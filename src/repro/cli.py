@@ -12,6 +12,12 @@ Five subcommands cover the library's everyday uses:
   prints a JSON-lines telemetry trace);
 * ``serve``     — drive the incremental solving service from a JSONL
   request stream (see :mod:`repro.serve.requests` for the protocol);
+  ``--async --shards N`` runs the sharded asyncio front-end instead
+  (:mod:`repro.serve.frontend`), replaying the file or, with ``--port``,
+  listening for JSONL/HTTP connections until SIGTERM/SIGINT;
+* ``loadgen``   — seeded load generator comparing the sync loop against
+  the async front-end with rid-level answer verification
+  (:mod:`repro.serve.loadgen`);
 * ``bench``     — run the perf-regression suite with backend selection
   (``--backend {legacy,flat,vectorized,auto,all}``);
 * ``calibrate`` — measure the flat/vectorized crossover on this machine
@@ -202,10 +208,37 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
+    import signal
     from contextlib import ExitStack
 
     from .serve import SolverService, ServiceConfig
     from .serve.requests import serve_stream
+
+    if getattr(args, "use_async", False):
+        return _serve_async(args)
+
+    # Graceful shutdown: the first SIGTERM/SIGINT asks the stream pump to
+    # stop after the in-flight request (the flush/snapshot epilogue below
+    # still runs, and the exit code stays 0); a second signal interrupts a
+    # blocked stdin read by raising KeyboardInterrupt, which the pump
+    # treats the same way.
+    stop_requested = {"flag": False}
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        if stop_requested["flag"]:
+            raise KeyboardInterrupt
+        stop_requested["flag"] = True
+        print(
+            f"# signal {signum}: draining in-flight request, then flushing",
+            file=sys.stderr,
+        )
+
+    previous_handlers = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # pragma: no cover - non-main thread (tests)
+            pass
 
     with ExitStack() as stack:
         telemetry = None
@@ -246,8 +279,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             sink = sys.stdout
         try:
-            failed = serve_stream(service, source, sink)
+            failed = serve_stream(
+                service,
+                source,
+                sink,
+                should_stop=lambda: stop_requested["flag"],
+            )
+        except KeyboardInterrupt:
+            # Second signal while blocked on a read: treat as a completed
+            # drain so the epilogue still flushes and the exit code is 0.
+            failed = 0
         finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
             if close_source is not None:
                 close_source.close()
             if args.output:
@@ -284,6 +328,204 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
     return 1 if failed else 0
+
+
+def _serve_async(args: argparse.Namespace) -> int:
+    """``repro serve --async``: sharded front-end, replay or socket mode.
+
+    With ``--port`` the front-end listens for JSONL/HTTP connections until
+    SIGTERM/SIGINT, then drains.  Without it the request file (or stdin)
+    is replayed through the same admission/batch/shard path and responses
+    stream to ``--output``/stdout — byte-comparable with the sync mode
+    modulo provenance fields.
+    """
+    import asyncio
+    import json
+    import signal
+    from contextlib import ExitStack
+
+    from .serve import AsyncFrontend, ServiceConfig, ShardRouter, serve_forever
+    from .serve.requests import error_response, parse_request_line, salvage_rid
+
+    if args.restore or args.snapshot:
+        raise ReproError(
+            "--restore/--snapshot apply to the single-process mode only; "
+            "the async front-end shards state across workers"
+        )
+    if args.trace_out:
+        raise ReproError(
+            "--trace-out applies to the single-process mode only; use "
+            "--metrics-out for the frontend's repro_frontend_* series"
+        )
+    config = ServiceConfig(
+        algorithm=args.algorithm,
+        cache_capacity=args.cache_capacity,
+        dirty_threshold=args.dirty_threshold,
+        repair_radius=args.repair_radius,
+        default_timeout=args.timeout,
+    )
+    failed = 0
+    with ExitStack() as stack:
+        if args.metrics_out:
+            from .obs.metrics import metrics_session
+
+            stack.enter_context(metrics_session(label="repro-serve"))
+        router = ShardRouter(shards=args.shards, config=config, mode=args.mode)
+        frontend = AsyncFrontend(
+            router,
+            max_queue_depth=args.max_queue_depth,
+            max_batch=args.max_batch,
+            own_router=True,
+        )
+        final_stats: dict = {}
+
+        if args.port is not None:
+
+            async def _run_server() -> None:
+                stop = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(signum, stop.set)
+                    except (NotImplementedError, RuntimeError):
+                        pass  # pragma: no cover - non-main thread / platform
+
+                class _Announce:
+                    def put(self, bound: tuple) -> None:
+                        print(
+                            f"# listening on {bound[0]}:{bound[1]} "
+                            f"({args.shards} shard(s), mode={args.mode}); "
+                            "SIGTERM/SIGINT drains and exits 0",
+                            file=sys.stderr,
+                        )
+
+                await serve_forever(
+                    frontend, host=args.host, port=args.port,
+                    ready=_Announce(), stop=stop,
+                )
+                final_stats.update(frontend.snapshot())
+
+            asyncio.run(_run_server())
+        else:
+            stop_requested = {"flag": False}
+
+            def _on_signal(signum: int, _frame: object) -> None:
+                stop_requested["flag"] = True
+
+            previous = {}
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous[signum] = signal.signal(signum, _on_signal)
+                except ValueError:  # pragma: no cover - non-main thread
+                    pass
+            if args.requests == "-":
+                source = sys.stdin
+                close_source = None
+            else:
+                close_source = open(args.requests, "r", encoding="utf-8")
+                source = close_source
+            sink = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+
+            async def _replay() -> None:
+                nonlocal failed
+                await frontend.start()
+                try:
+                    for line in source:
+                        if stop_requested["flag"]:
+                            break
+                        if not line.strip():
+                            continue
+                        try:
+                            request = parse_request_line(line)
+                        except ReproError as exc:
+                            response = error_response(str(exc), rid=salvage_rid(line))
+                            failed += 1
+                        else:
+                            response = await frontend.submit(request)
+                            if response.get("error"):
+                                failed += 1
+                        sink.write(json.dumps(response, sort_keys=True) + "\n")
+                        sink.flush()
+                    final_stats.update(frontend.snapshot())
+                    final_stats["router"] = router.counters()
+                finally:
+                    await frontend.drain()
+
+            try:
+                asyncio.run(_replay())
+            finally:
+                for signum, handler in previous.items():
+                    signal.signal(signum, handler)
+                if close_source is not None:
+                    close_source.close()
+                if args.output:
+                    sink.close()
+        if args.stats:
+            print(
+                f"# frontend: {json.dumps(final_stats, sort_keys=True)}",
+                file=sys.stderr,
+            )
+        if args.metrics_out:
+            if args.metrics_out.endswith(".jsonl"):
+                count = frontend.metrics.write_jsonl(args.metrics_out)
+                print(
+                    f"# metrics: {count} records to {args.metrics_out}",
+                    file=sys.stderr,
+                )
+            else:
+                with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                    handle.write(frontend.metrics.to_prometheus())
+                print(
+                    f"# metrics: Prometheus exposition to {args.metrics_out}",
+                    file=sys.stderr,
+                )
+    return 1 if failed else 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.loadgen import LoadgenConfig, run_serve_load_benchmark
+
+    config = LoadgenConfig(
+        seed=args.seed,
+        graphs=args.graphs,
+        vertices=args.vertices,
+        edge_probability=args.edge_probability,
+        requests=args.requests,
+        burst=args.burst,
+        mutate_every=args.mutate_every,
+    )
+    result = run_serve_load_benchmark(
+        config=config, shards=args.shards, mode=args.mode
+    )
+    for label in ("sync", "async"):
+        payload = result[label]
+        assert isinstance(payload, dict)
+        print(
+            f"# {label:5s}: {payload['throughput']:8.1f} req/s  "
+            f"p50 {payload['p50'] * 1000.0:7.2f}ms  "
+            f"p99 {payload['p99'] * 1000.0:7.2f}ms  "
+            f"shed {payload['shed']}  coalesced {payload['coalesced']}  "
+            f"cache_hit_rate {payload['cache_hit_rate']:.2f}"
+        )
+    equivalence = result["equivalence"]
+    shed_check = result["shed_check"]
+    assert isinstance(equivalence, dict) and isinstance(shed_check, dict)
+    print(
+        f"# speedup {result['speedup']:.2f}x  "
+        f"equivalent={equivalence['equivalent']} "
+        f"(compared {equivalence['compared']})  "
+        f"shed_valid={shed_check['all_valid']} "
+        f"({shed_check['shed_valid']}/{shed_check['shed']})"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# report written to {args.out}", file=sys.stderr)
+    ok = bool(equivalence["equivalent"]) and bool(shed_check["all_valid"])
+    return 0 if ok else 1
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -521,7 +763,76 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TRACE",
         help="record per-request telemetry spans to this JSON-lines file",
     )
+    serve.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="run the sharded asyncio front-end (admission control, "
+        "micro-batching, deadline shedding) instead of the inline loop",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="worker shards for --async (graphs are routed by id; default 4)",
+    )
+    serve.add_argument(
+        "--mode",
+        default="thread",
+        choices=["thread", "process"],
+        help="shard worker isolation for --async (default thread)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --async --port"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="with --async: listen for JSONL/HTTP connections on this port "
+        "(0 picks an ephemeral one) instead of replaying the request file",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="micro-batch ceiling per shard dispatch for --async (default 32)",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=128,
+        help="per-shard admission limit for --async; beyond it sheddable "
+        "requests degrade to the stale answer (default 128)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="seeded load generator: sync vs async serve, verified answers",
+    )
+    loadgen.add_argument("--seed", type=int, default=2017)
+    loadgen.add_argument("--graphs", type=int, default=4)
+    loadgen.add_argument("--vertices", type=int, default=2500)
+    loadgen.add_argument(
+        "--edge-probability", type=float, default=0.008, metavar="P"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=400, help="timed stream length"
+    )
+    loadgen.add_argument(
+        "--burst", type=int, default=8, help="identical solves per arrival"
+    )
+    loadgen.add_argument(
+        "--mutate-every",
+        type=int,
+        default=6,
+        help="mutate a graph every N arrivals (default 6)",
+    )
+    loadgen.add_argument("--shards", type=int, default=4)
+    loadgen.add_argument("--mode", default="thread", choices=["thread", "process"])
+    loadgen.add_argument("--out", default=None, help="write the JSON report here")
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     snapshot = commands.add_parser(
         "snapshot", help="summarize a saved service snapshot"

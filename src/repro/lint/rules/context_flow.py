@@ -9,10 +9,13 @@ hand to ``_request_scope``.  RL008 checks three cross-procedure
 properties, scoped to ``repro/serve/`` on **both** ends of each edge
 (``serve/context.py``, the provider, is exempt):
 
-* **Verb surface** — a public method of a ``*Service`` class that calls
-  any context-accepting serve function must itself accept a
+* **Verb surface** — a public method (sync or ``async def``) of a
+  ``*Service``, ``*Frontend`` or ``*Router`` class that calls any
+  context-accepting serve function must itself accept a
   ``context``/``ctx`` parameter; otherwise callers have no way to thread
-  the request through that verb.
+  the request through that verb.  The front-end/router suffixes keep the
+  sharded serving path (PR 10) under the same contract as the inline
+  service verbs.
 * **No drops** — a function that *binds* a request context (parameter,
   or a local built via ``RequestContext(...)``/``RequestContext.create``)
   must pass it to every context-accepting serve callee it invokes.
@@ -36,8 +39,13 @@ __all__ = ["RequestContextRule"]
 _CTX_NAMES = ("context", "ctx")
 _CONTEXT_CLASS_TAIL = ":RequestContext"
 
+#: Class-name suffixes whose public methods are request-serving verbs.
+_VERB_CLASS_SUFFIXES = ("Service", "Frontend", "Router")
+
 #: Dunder / lifecycle methods that are not service verbs.
-_NON_VERBS = frozenset({"__init__", "__enter__", "__exit__", "__repr__"})
+_NON_VERBS = frozenset(
+    {"__init__", "__enter__", "__exit__", "__aenter__", "__aexit__", "__repr__"}
+)
 
 
 def _tail(qname: str) -> str:
@@ -115,7 +123,7 @@ class RequestContextRule(Rule):
             binds_timeout = "timeout" in info.params or "timeout" in scope.assigns
             is_verb = (
                 info.class_name is not None
-                and info.class_name.endswith("Service")
+                and info.class_name.endswith(_VERB_CLASS_SUFFIXES)
                 and not info.name.startswith("_")
                 and info.name not in _NON_VERBS
             )

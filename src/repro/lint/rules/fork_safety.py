@@ -11,7 +11,10 @@ stamps and are merged by the parent.
 
 RL007 finds every function reachable from a pool-worker payload (the
 callable handed to ``pool.map``/``imap``/``apply_async``/… or
-``executor.submit``) and flags, inside that closure:
+``executor.submit``, the ``target=`` of a ``multiprocessing.Process`` —
+how the shard router boots its worker fleet — or the callable handed to
+``loop.run_in_executor`` by the async front-end's dispatchers) and
+flags, inside that closure:
 
 * calls to ``repro.obs.metrics.get_metrics`` — grabbing the process-
   global registry in worker code;
@@ -53,6 +56,9 @@ _POOL_METHODS = frozenset(
         "submit",
     }
 )
+
+#: Callables whose ``target=`` keyword is a worker payload.
+_PROCESS_CTORS = frozenset({"Process"})
 
 #: MetricsRegistry write methods.
 _METRIC_WRITES = frozenset({"inc", "observe", "set_gauge"})
@@ -107,14 +113,12 @@ class ForkSafetyRule(Rule):
                 continue
             scope = project.scope(qname)  # type: ignore[attr-defined]
             for node in iter_function_body(info.node):
-                if not (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
-                    and node.func.attr in _POOL_METHODS
-                    and node.args
-                ):
+                if not isinstance(node, ast.Call):
                     continue
-                for origin in scope.origins_of(node.args[0]):
+                payload = self._payload_expr(node)
+                if payload is None:
+                    continue
+                for origin in scope.origins_of(payload):
                     if origin[0] == "func":
                         roots.add(origin[1])
                     elif origin[0] == "class":
@@ -122,6 +126,31 @@ class ForkSafetyRule(Rule):
                         if init is not None:
                             roots.add(init[1])
         return sorted(roots)
+
+    @staticmethod
+    def _payload_expr(node: ast.Call) -> Optional[ast.expr]:
+        """The worker-payload expression of a dispatch call, if any.
+
+        Three dispatch shapes: ``pool.map(fn, …)`` and friends (payload is
+        the first argument), ``loop.run_in_executor(executor, fn, …)``
+        (payload follows the executor), and ``Process(target=fn)`` (payload
+        is the ``target=`` keyword — also matches ``ctx.Process``).
+        """
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name is None:
+            return None
+        if name in _POOL_METHODS and node.args:
+            return node.args[0]
+        if name == "run_in_executor" and len(node.args) >= 2:
+            return node.args[1]
+        if name in _PROCESS_CTORS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    return keyword.value
+        return None
 
     # ------------------------------------------------------------------
     def check_graph(self, project: "object") -> Iterable[Finding]:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "METRIC_SERVE_CACHE_MISSES",
     "METRIC_SERVE_CACHE_EVICTIONS",
     "METRIC_SERVE_CACHE_ENTRIES",
+    "METRIC_SERVE_CACHE_SHARED_HITS",
     "METRIC_SERVE_GRAPHS",
     "METRIC_SERVE_MUTATIONS",
     "METRIC_SERVE_REPAIRS",
@@ -53,6 +55,15 @@ __all__ = [
     "METRIC_SERVE_FULL_RESOLVES",
     "METRIC_SERVE_STALE_RETURNS",
     "METRIC_AUTO_BACKEND_PICKS",
+    "METRIC_FRONTEND_REQUESTS",
+    "METRIC_FRONTEND_REQUEST_SECONDS",
+    "METRIC_FRONTEND_QUEUE_DEPTH",
+    "METRIC_FRONTEND_SHED",
+    "METRIC_FRONTEND_BATCHES",
+    "METRIC_FRONTEND_BATCH_SIZE",
+    "METRIC_FRONTEND_COALESCED",
+    "METRIC_FRONTEND_PROTOCOL_ERRORS",
+    "METRIC_FRONTEND_CONNECTIONS",
     "MetricsRegistry",
     "Histogram",
     "enable_metrics",
@@ -88,6 +99,28 @@ METRIC_SERVE_STALE_RETURNS = "repro_serve_stale_returns_total"
 #: The ``auto`` dispatcher's per-solve decision, labelled ``backend``
 #: (flat / vectorized) and ``family`` (bdone / linear_time / near_linear).
 METRIC_AUTO_BACKEND_PICKS = "repro_auto_backend_picks_total"
+#: Kernel-cache lookups that missed locally but hit the fleet-shared tier
+#: (a graph kernelized by one shard worker answering on another).
+METRIC_SERVE_CACHE_SHARED_HITS = "repro_serve_cache_shared_hits_total"
+#: Requests admitted by the async front-end, labelled ``op`` and ``shard``.
+METRIC_FRONTEND_REQUESTS = "repro_frontend_requests_total"
+#: End-to-end front-end latency (admission to response), labelled ``op``.
+METRIC_FRONTEND_REQUEST_SECONDS = "repro_frontend_request_seconds"
+#: Live admission-queue depth per shard (gauge, labelled ``shard``).
+METRIC_FRONTEND_QUEUE_DEPTH = "repro_frontend_queue_depth"
+#: Requests shed by admission control, labelled ``shard`` and ``reason``
+#: (``queue_full`` / ``deadline``).
+METRIC_FRONTEND_SHED = "repro_frontend_shed_total"
+#: Dispatched worker batches per shard.
+METRIC_FRONTEND_BATCHES = "repro_frontend_batches_total"
+#: Batch-size distribution (requests per dispatched batch).
+METRIC_FRONTEND_BATCH_SIZE = "repro_frontend_batch_size"
+#: Solve requests answered by a micro-batch leader's solve (followers).
+METRIC_FRONTEND_COALESCED = "repro_frontend_coalesced_total"
+#: Malformed / oversized / undecodable request lines.
+METRIC_FRONTEND_PROTOCOL_ERRORS = "repro_frontend_protocol_errors_total"
+#: Open client connections (gauge).
+METRIC_FRONTEND_CONNECTIONS = "repro_frontend_connections"
 
 #: The full metric-name registry reprolint RL003 checks write sites against.
 METRIC_KEYS = frozenset(
@@ -99,6 +132,7 @@ METRIC_KEYS = frozenset(
         METRIC_SERVE_CACHE_MISSES,
         METRIC_SERVE_CACHE_EVICTIONS,
         METRIC_SERVE_CACHE_ENTRIES,
+        METRIC_SERVE_CACHE_SHARED_HITS,
         METRIC_SERVE_GRAPHS,
         METRIC_SERVE_MUTATIONS,
         METRIC_SERVE_REPAIRS,
@@ -107,6 +141,15 @@ METRIC_KEYS = frozenset(
         METRIC_SERVE_FULL_RESOLVES,
         METRIC_SERVE_STALE_RETURNS,
         METRIC_AUTO_BACKEND_PICKS,
+        METRIC_FRONTEND_REQUESTS,
+        METRIC_FRONTEND_REQUEST_SECONDS,
+        METRIC_FRONTEND_QUEUE_DEPTH,
+        METRIC_FRONTEND_SHED,
+        METRIC_FRONTEND_BATCHES,
+        METRIC_FRONTEND_BATCH_SIZE,
+        METRIC_FRONTEND_COALESCED,
+        METRIC_FRONTEND_PROTOCOL_ERRORS,
+        METRIC_FRONTEND_CONNECTIONS,
     }
 )
 
@@ -224,6 +267,10 @@ class MetricsRegistry:
         self._counters: Dict[str, Dict[_LabelKey, float]] = {}
         self._gauges: Dict[str, Dict[_LabelKey, float]] = {}
         self._histograms: Dict[str, Dict[_LabelKey, Histogram]] = {}
+        # Writes are read-modify-write sequences; the serving layer hits one
+        # registry from dispatcher threads and thread-mode shard workers
+        # concurrently, so each write takes this (uncontended-cheap) lock.
+        self._write_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Write API
@@ -241,22 +288,24 @@ class MetricsRegistry:
         """Add ``amount`` to the counter series ``name`` at ``labels``."""
         series = self._counters.setdefault(self._check(name), {})
         key = _label_key(labels)
-        series[key] = series.get(key, 0.0) + amount
+        with self._write_lock:
+            series[key] = series.get(key, 0.0) + amount
 
     def set_gauge(self, name: str, value: float, **labels: str) -> None:
         """Set the gauge series ``name`` at ``labels`` to ``value``."""
-        self._gauges.setdefault(self._check(name), {})[_label_key(labels)] = float(
-            value
-        )
+        series = self._gauges.setdefault(self._check(name), {})
+        with self._write_lock:
+            series[_label_key(labels)] = float(value)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         """Record one observation into the histogram series ``name``."""
         series = self._histograms.setdefault(self._check(name), {})
         key = _label_key(labels)
-        histogram = series.get(key)
-        if histogram is None:
-            histogram = series[key] = Histogram()
-        histogram.observe(value)
+        with self._write_lock:
+            histogram = series.get(key)
+            if histogram is None:
+                histogram = series[key] = Histogram()
+            histogram.observe(value)
 
     # ------------------------------------------------------------------
     # Read API

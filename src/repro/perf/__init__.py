@@ -23,11 +23,17 @@ Two pieces live here:
 from .parallel import (
     ALGORITHM_BY_NAME,
     DEFAULT_PARALLEL_THRESHOLD,
+    WorkerPool,
+    decode_graph_payload,
+    encode_graph_payload,
     solve_by_components_parallel,
 )
 
 __all__ = [
     "ALGORITHM_BY_NAME",
     "DEFAULT_PARALLEL_THRESHOLD",
+    "WorkerPool",
+    "decode_graph_payload",
+    "encode_graph_payload",
     "solve_by_components_parallel",
 ]

@@ -76,7 +76,7 @@ __all__ = [
     "main",
 ]
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: The tracks the CI gate watches: record key in ``timings[graph]`` plus
 #: the wall-time field inside it.  LinearTime is the paper's headline
@@ -96,6 +96,7 @@ GATED_TRACKS: Dict[str, Tuple[str, str]] = {
     "near_linear_vec": ("NearLinear-vec", "vec_wall"),
     "linear_time_auto": ("LinearTime-auto", "auto_wall"),
     "near_linear_auto": ("NearLinear-auto", "auto_wall"),
+    "serve_load": ("ServeLoad", "async_wall"),
 }
 
 #: Which track families each ``--backend`` value runs.  ``legacy`` and
@@ -114,6 +115,42 @@ _SERVE_MUTATIONS_PER_ROUND = 4
 #: Fixed iteration budget for the ARW-LT end-to-end track — wall-clock
 #: budgets would make the measured work machine-dependent.
 _ARW_ITERATIONS = 40
+
+#: Per-suite shape of the ``serve_load`` track's replay workload (see
+#: :mod:`repro.serve.loadgen`): loadgen-config overrides plus the shard
+#: fleet size.  The smoke shape exists so the track runs inside the unit
+#: tests in well under a second; the quick/full shapes are serving-scale
+#: (the graphs are big enough that answer materialization, not dispatch
+#: overhead, dominates a cache hit — the regime the front-end amortizes).
+_SERVE_LOAD_SHAPES: Dict[str, Dict[str, object]] = {
+    "smoke": {
+        "vertices": 300,
+        "edge_probability": 0.02,
+        "graphs": 2,
+        "requests": 80,
+        "burst": 8,
+        "mutate_every": 10,
+        "shards": 2,
+    },
+    "quick": {
+        "vertices": 4_000,
+        "edge_probability": 0.002,
+        "graphs": 4,
+        "requests": 300,
+        "burst": 16,
+        "mutate_every": 25,
+        "shards": 4,
+    },
+    "full": {
+        "vertices": 10_000,
+        "edge_probability": 0.001,
+        "graphs": 4,
+        "requests": 600,
+        "burst": 16,
+        "mutate_every": 25,
+        "shards": 4,
+    },
+}
 
 # name -> (factory, run NearLinear + kernels on it?)
 _SUITES: Dict[str, List[Tuple[str, Callable[[], Graph], bool]]] = {
@@ -395,6 +432,43 @@ def _time_serve_incremental(graph: Graph, repeats: int) -> Dict[str, float]:
     }
 
 
+def _time_serve_load(suite: str) -> Dict[str, object]:
+    """The ``serve_load`` track: the async front-end vs the sync service.
+
+    Replays the suite-shaped seeded workload (:data:`_SERVE_LOAD_SHAPES`)
+    through both serving paths under the same closed-loop client model and
+    records walls, latency percentiles, and the throughput speedup.  The
+    underlying harness hard-fails on a rid-level answer mismatch, so a
+    committed record is also an equivalence certificate; the shed check
+    (deadline-starved replay) is recorded alongside — every shed request
+    must still have produced a valid answer.
+    """
+    from ..serve.loadgen import LoadgenConfig, run_serve_load_benchmark
+
+    shape = dict(_SERVE_LOAD_SHAPES[suite])
+    shards = int(shape.pop("shards"))  # type: ignore[arg-type]
+    config = LoadgenConfig(**shape)  # type: ignore[arg-type]
+    result = run_serve_load_benchmark(config, shards=shards, mode="thread")
+    sync = result["sync"]
+    asy = result["async"]
+    return {
+        "async_wall": result["async_wall"],
+        "sync_wall": result["sync_wall"],
+        "speedup": result["speedup"],
+        "sync_p50": sync["p50"],  # type: ignore[index]
+        "sync_p99": sync["p99"],  # type: ignore[index]
+        "async_p50": asy["p50"],  # type: ignore[index]
+        "async_p99": asy["p99"],  # type: ignore[index]
+        "throughput": asy["throughput"],  # type: ignore[index]
+        "coalesced": asy["coalesced"],  # type: ignore[index]
+        "cache_hit_rate": asy["cache_hit_rate"],  # type: ignore[index]
+        "shards": shards,
+        "requests": result["config"]["requests"],  # type: ignore[index]
+        "equivalent": result["equivalence"]["equivalent"],  # type: ignore[index]
+        "shed_all_valid": result["shed_check"]["all_valid"],  # type: ignore[index]
+    }
+
+
 def _counter_timings(graph: Graph, calls: int = 20_000) -> Dict[str, float]:
     """Per-call cost (µs) of the maintained live counters vs. an O(n) scan."""
     workspace = FlatWorkspace(graph, track_degree_two=True)
@@ -491,6 +565,12 @@ def run_suite(suite: str, repeats: int, backend: str = "all") -> Dict[str, objec
             nl_kernel, _, _ = near_linear_reduce(graph)
             kernels["near_linear"] = {"n": nl_kernel.n, "m": nl_kernel.m}
         report["kernels"][gname] = kernels
+    if classic:
+        # The serving front-end track lives under a pseudo-graph key: its
+        # input is a whole workload, not one suite graph, but the gate
+        # machinery (record key + wall field per graph) applies unchanged.
+        report["graphs"]["serve-load"] = dict(_SERVE_LOAD_SHAPES[suite])
+        report["timings"]["serve-load"] = {"ServeLoad": _time_serve_load(suite)}
     if largest is not None:
         report["live_counters"] = _counter_timings(largest)
     return report
@@ -658,7 +738,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     for gname, timings in report["timings"].items():
         line = [gname]
         for alg, rec in timings.items():
-            if "repair_wall" in rec:
+            if "async_wall" in rec:
+                part = (
+                    f"{alg} async {rec['async_wall']:.4f}s "
+                    f"({rec['speedup']:.2f}x vs sync, "
+                    f"p99 {rec['async_p99'] * 1000:.1f}ms)"
+                )
+            elif "repair_wall" in rec:
                 part = (
                     f"{alg} repair {rec['repair_wall']:.4f}s "
                     f"({rec['repair_speedup']:.2f}x) warm {rec['warm_speedup']:.0f}x"

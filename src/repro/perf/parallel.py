@@ -23,6 +23,7 @@ gains a ``/components-parallel`` suffix) and ``elapsed``.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.pool
 import os
 import shutil
 import tempfile
@@ -44,6 +45,9 @@ from ..obs.trace_io import collect_worker_traces, write_trace
 __all__ = [
     "ALGORITHM_BY_NAME",
     "DEFAULT_PARALLEL_THRESHOLD",
+    "WorkerPool",
+    "decode_graph_payload",
+    "encode_graph_payload",
     "solve_by_components_parallel",
 ]
 
@@ -70,6 +74,83 @@ ALGORITHM_BY_NAME: dict = {
     "linear_time_auto": linear_time_auto,
     "near_linear_auto": near_linear_auto,
 }
+
+
+def encode_graph_payload(graph: Graph) -> Tuple[bytes, bytes, str]:
+    """Export ``graph`` as the flat CSR wire triple ``(offsets, targets, name)``.
+
+    This is the serialization the component pool ships to its workers — two
+    raw byte strings (``array('q')`` offsets, ``array('i')`` targets) plus
+    the graph name — and the same codec the shard router
+    (:mod:`repro.serve.router`) uses to hand whole graphs to shard workers:
+    one memcpy out, one memcpy back in, never ``2m + n`` boxed ints.
+    """
+    offsets, targets = graph.flat_csr()
+    return offsets.tobytes(), targets.tobytes(), graph.name
+
+
+def decode_graph_payload(
+    offsets_bytes: bytes, targets_bytes: bytes, name: str
+) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`encode_graph_payload` output."""
+    offsets = array("q")
+    offsets.frombytes(offsets_bytes)
+    targets = array("i")
+    targets.frombytes(targets_bytes)
+    return Graph(offsets, targets, name=name)
+
+
+class WorkerPool:
+    """A reusable component-solving worker pool.
+
+    ``solve_by_components_parallel`` creates and tears down a
+    ``multiprocessing.Pool`` per call, which is fine for one-shot CLI runs
+    but wasteful for a server answering a stream of solves: fork/spawn cost
+    lands on every request.  A ``WorkerPool`` keeps the processes alive
+    across calls — pass it via the ``pool=`` parameter and the driver skips
+    its own pool lifecycle.  The pool is lazy (processes start on first
+    use) and restartable (``close`` then reuse re-forks).
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.processes = max(1, processes if processes is not None else (os.cpu_count() or 1))
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return self._pool is not None
+
+    def _ensure(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = self._ctx.Pool(self.processes)
+        return self._pool
+
+    def map(self, payloads: List[Tuple[bytes, bytes, str, Union[str, Callable[[Graph], MISResult]], int, Optional[str], dict]]) -> List[MISResult]:
+        """Solve ``payloads`` (see :func:`_solve_flat`) on the live workers."""
+        return self._ensure().map(_solve_flat, payloads)
+
+    def close(self) -> None:
+        """Stop the worker processes; the pool may be reused afterwards."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self.started else "idle"
+        return f"<WorkerPool processes={self.processes} {state}>"
 
 
 def _resolve_algorithm(
@@ -121,11 +202,7 @@ def _solve_flat(
         trace_path,
         stamp,
     ) = payload
-    offsets = array("q")
-    offsets.frombytes(offsets_bytes)
-    targets = array("i")
-    targets.frombytes(targets_bytes)
-    graph = Graph(offsets, targets, name=name)
+    graph = decode_graph_payload(offsets_bytes, targets_bytes, name)
     if trace_path is None:
         return _resolve_algorithm(algorithm)(graph)
     sink = enable(label=f"worker-component-{component}", context=dict(stamp))
@@ -142,6 +219,7 @@ def solve_by_components_parallel(
     processes: Optional[int] = None,
     min_component_size: int = DEFAULT_PARALLEL_THRESHOLD,
     start_method: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> MISResult:
     """Run ``algorithm`` per connected component, large components in parallel.
 
@@ -164,6 +242,11 @@ def solve_by_components_parallel(
     start_method:
         Forwarded to :func:`multiprocessing.get_context` (``None`` keeps the
         platform default, ``fork`` on Linux).
+    pool:
+        An already-running :class:`WorkerPool` to dispatch pooled components
+        on.  When given, the driver skips its own per-call pool lifecycle
+        (the caller owns start-up and shutdown) and ``processes`` /
+        ``start_method`` are ignored — the pool's own settings win.
 
     Returns the merged :class:`~repro.core.result.MISResult`; identical to
     :func:`repro.core.components.solve_by_components` except for the
@@ -198,7 +281,9 @@ def solve_by_components_parallel(
         if processes is None:
             processes = os.cpu_count() or 1
         workers = max(1, min(processes, len(pooled)))
-        if workers == 1:
+        if pool is not None:
+            workers = pool.processes  # caller-owned pool: its sizing wins
+        if workers == 1 and pool is None:
             solved.extend(
                 (old_ids, _solve_inline(index, subgraph))
                 for index, old_ids, subgraph in pooled
@@ -213,7 +298,9 @@ def solve_by_components_parallel(
             parent_fields = dict(telemetry.context) if telemetry is not None else {}
             payloads = []
             for index, _, subgraph in pooled:
-                offsets, targets = subgraph.flat_csr()
+                offsets_bytes, targets_bytes, graph_name = encode_graph_payload(
+                    subgraph
+                )
                 trace_path = (
                     os.path.join(trace_dir, f"component-{index}.jsonl")
                     if trace_dir is not None
@@ -225,19 +312,22 @@ def solve_by_components_parallel(
                 stamp["component"] = index
                 payloads.append(
                     (
-                        offsets.tobytes(),
-                        targets.tobytes(),
-                        subgraph.name,
+                        offsets_bytes,
+                        targets_bytes,
+                        graph_name,
                         algorithm,
                         index,
                         trace_path,
                         stamp,
                     )
                 )
-            ctx = multiprocessing.get_context(start_method)
             try:
-                with ctx.Pool(workers) as pool:
-                    results = pool.map(_solve_flat, payloads)
+                if pool is not None:
+                    results = pool.map(payloads)
+                else:
+                    ctx = multiprocessing.get_context(start_method)
+                    with ctx.Pool(workers) as owned_pool:
+                        results = owned_pool.map(_solve_flat, payloads)
                 if telemetry is not None:
                     telemetry.adopt(collect_worker_traces(trace_paths))
             finally:

@@ -9,40 +9,75 @@ graph changed, again" without paying a cold solve per query:
 * :class:`~repro.serve.dynamic_graph.DynamicGraph` — the mutable front for
   the immutable CSR :class:`~repro.graphs.static_graph.Graph`;
 * :class:`~repro.serve.cache.KernelCache` — bounded LRU of solved snapshots
-  keyed by :func:`~repro.serve.fingerprint.graph_fingerprint`;
+  keyed by :func:`~repro.serve.fingerprint.graph_fingerprint`, with an
+  optional fleet-shared :class:`~repro.serve.cache.SharedCacheTier`;
 * :mod:`~repro.serve.repair` — localized repair of a solution around the
   mutated region;
 * :mod:`~repro.serve.requests` — the JSONL request protocol behind
   ``repro serve``;
+* :mod:`~repro.serve.router` — graph-id sharding across a worker fleet;
+* :mod:`~repro.serve.frontend` — the asyncio front-end behind
+  ``repro serve --async`` (admission control, micro-batching, shedding);
+* :mod:`~repro.serve.loadgen` — the seeded load generator behind
+  ``repro loadgen`` and the ``serve_load`` bench track;
 * :mod:`~repro.serve.smoke` — the CI smoke gauntlet
   (``python -m repro.serve.smoke``).
 
 See ``docs/serving.md`` for the full tour.
 """
 
-from .cache import CacheEntry, KernelCache
+from .cache import CacheEntry, KernelCache, SharedCacheTier
 from .dynamic_graph import MUTATION_KINDS, DynamicGraph, Mutation
 from .fingerprint import graph_fingerprint
+from .frontend import AsyncFrontend, serve_forever
+from .loadgen import (
+    LoadgenConfig,
+    LoadgenReport,
+    build_workload,
+    run_serve_load_benchmark,
+)
 from .repair import RepairOutcome, cold_solve, patch_solution, repair_solution
-from .requests import handle_request, run_requests, serve_stream
+from .requests import (
+    MAX_REQUEST_BYTES,
+    error_response,
+    handle_request,
+    parse_request_line,
+    run_requests,
+    salvage_rid,
+    serve_stream,
+)
+from .router import ShardRouter, shard_for
 from .service import SNAPSHOT_VERSION, ServeResult, ServiceConfig, SolverService
 
 __all__ = [
+    "AsyncFrontend",
     "CacheEntry",
     "DynamicGraph",
     "KernelCache",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "MAX_REQUEST_BYTES",
     "MUTATION_KINDS",
     "Mutation",
     "RepairOutcome",
     "SNAPSHOT_VERSION",
     "ServeResult",
     "ServiceConfig",
+    "ShardRouter",
+    "SharedCacheTier",
     "SolverService",
+    "build_workload",
     "cold_solve",
+    "error_response",
     "graph_fingerprint",
     "handle_request",
+    "parse_request_line",
     "patch_solution",
     "repair_solution",
     "run_requests",
+    "run_serve_load_benchmark",
+    "salvage_rid",
+    "serve_forever",
     "serve_stream",
+    "shard_for",
 ]

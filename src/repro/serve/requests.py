@@ -26,12 +26,17 @@ telemetry span and metric of that request with them; requests without a
 Every response echoes ``op`` (and ``id`` when present), carries
 ``"ok": true`` on success, and ``"ok": false`` plus ``"error"`` on
 failure — a bad request never tears down the service or the stream.
+The hardening contract: a malformed, non-object, or oversized request
+line yields a structured error that still echoes the caller's ``rid``
+whenever one is salvageable from the raw bytes (:func:`salvage_rid`),
+and *no* input — however hostile — surfaces a server-side traceback.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, TextIO
+import re
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TextIO
 
 from ..errors import ReproError
 from ..graphs.static_graph import Graph
@@ -39,7 +44,26 @@ from .context import RequestContext
 from .dynamic_graph import Mutation
 from .service import ServeResult, SolverService
 
-__all__ = ["handle_request", "run_requests", "serve_stream"]
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "error_response",
+    "handle_request",
+    "parse_request_line",
+    "run_requests",
+    "salvage_rid",
+    "serve_stream",
+]
+
+#: Upper bound on one JSONL request line.  A line past this is rejected
+#: *before* parsing — ``json.loads`` on an adversarial multi-megabyte line
+#: would hold the event loop / stream pump hostage.  Generous enough for
+#: inline edge-list registers of ~50k edges.
+MAX_REQUEST_BYTES = 4_000_000
+
+#: A caller rid inside an otherwise unparseable line.  String form only
+#: (numeric rids survive json.loads, which has already failed here);
+#: bounded so the salvage itself cannot be abused.
+_RID_PATTERN = re.compile(r'"rid"\s*:\s*"([^"\\]{1,128})"')
 
 
 def _load_request_graph(request: Dict[str, object]) -> Graph:
@@ -56,6 +80,28 @@ def _load_request_graph(request: Dict[str, object]) -> Graph:
         size = max([n] + [max(u, v) + 1 for u, v in edges]) if edges else n
         return Graph.from_edges(size, edges)
     raise ReproError("register needs either 'path' or 'edges'")
+
+
+def salvage_rid(line: str) -> Optional[str]:
+    """Best-effort recovery of a string ``rid`` from a broken request line.
+
+    Lets a structured parse error still join the caller's request log;
+    returns ``None`` when nothing trustworthy is found.
+    """
+    match = _RID_PATTERN.search(line)
+    return match.group(1) if match else None
+
+
+def error_response(
+    error: str,
+    rid: Optional[str] = None,
+    op: Optional[object] = None,
+) -> Dict[str, object]:
+    """A structured protocol-level failure (parse errors, oversize lines)."""
+    response: Dict[str, object] = {"op": op, "ok": False, "error": error}
+    if rid is not None:
+        response["rid"] = rid
+    return response
 
 
 def _result_payload(result: ServeResult) -> Dict[str, object]:
@@ -79,6 +125,10 @@ def handle_request(
     service: SolverService, request: Dict[str, object]
 ) -> Dict[str, object]:
     """Execute one request against ``service``; never raises for bad input."""
+    if not isinstance(request, dict):
+        return error_response(
+            f"ReproError: request must be a JSON object, got {type(request).__name__}"
+        )
     op = request.get("op")
     context = RequestContext.create(
         request_id=str(request["rid"]) if "rid" in request else None,
@@ -131,6 +181,10 @@ def handle_request(
             service.remove_vertex(str(request["id"]), int(request["v"]), context)  # type: ignore[arg-type]
         elif op == "unregister":
             service.unregister(str(request["id"]), context=context)
+        elif op == "ping":
+            # Liveness probe for load generators and health checks; touches
+            # no graph state so it is safe at any queue depth.
+            response["pong"] = True
         elif op == "stats":
             response["counters"] = service.counters()
         elif op == "save":
@@ -144,6 +198,11 @@ def handle_request(
     except (ReproError, KeyError, TypeError, ValueError, OSError) as exc:
         response["ok"] = False
         response["error"] = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - protocol promise: no tracebacks
+        # Anything the explicit tuple missed is still a *request* failure,
+        # not a server failure: answer structurally and keep serving.
+        response["ok"] = False
+        response["error"] = f"InternalError({type(exc).__name__}): {exc}"
     return response
 
 
@@ -155,29 +214,56 @@ def run_requests(
         yield handle_request(service, request)
 
 
+def parse_request_line(line: str) -> Dict[str, object]:
+    """Parse one raw JSONL line into a request dict, or raise ``ReproError``.
+
+    Enforces the protocol hardening contract in one place (the sync stream
+    pump and the async front-end both call it): oversized lines are
+    rejected before parsing, parse failures and non-object payloads raise
+    a :class:`ReproError` whose message is safe to echo to the caller.
+    """
+    if len(line) > MAX_REQUEST_BYTES:
+        raise ReproError(
+            f"request line too large ({len(line)} bytes > "
+            f"MAX_REQUEST_BYTES={MAX_REQUEST_BYTES})"
+        )
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"JSONDecodeError: {exc}") from None
+    if not isinstance(request, dict):
+        raise ReproError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    return request
+
+
 def serve_stream(
     service: SolverService,
     source: Iterable[str],
     sink: TextIO,
     errors: Optional[List[str]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> int:
     """Drive ``service`` from JSONL ``source`` lines, writing responses to
     ``sink``.  Returns the number of failed requests (malformed lines count
     as failures and are reported on the stream like any other error).
+
+    ``should_stop`` is polled between requests: when it turns true the pump
+    stops reading and returns — the graceful-shutdown hook, so a signal
+    handler can drain the in-flight request instead of killing mid-write.
     """
     failed = 0
     for line in source:
+        if should_stop is not None and should_stop():
+            break
         line = line.strip()
         if not line or line.startswith("#"):
             continue
         try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            response: Dict[str, object] = {
-                "op": None,
-                "ok": False,
-                "error": f"JSONDecodeError: {exc}",
-            }
+            request = parse_request_line(line)
+        except ReproError as exc:
+            response = error_response(str(exc), rid=salvage_rid(line))
         else:
             response = handle_request(service, request)
         if not response.get("ok"):
@@ -185,4 +271,5 @@ def serve_stream(
             if errors is not None:
                 errors.append(str(response.get("error")))
         sink.write(json.dumps(response, sort_keys=True) + "\n")
+        sink.flush()
     return failed

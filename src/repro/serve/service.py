@@ -234,7 +234,11 @@ class SolverService:
         #: process enabled metrics globally — the exposition endpoints.
         #: Sharing is load-bearing: it is what keeps :meth:`counters` and a
         #: Prometheus scrape reading the same numbers.
-        self.metrics = metrics or get_metrics() or MetricsRegistry(label="serve")
+        # Shard workers (router._shard_worker_main) always pass an explicit
+        # per-child registry, so the global fallthrough never runs forked.
+        self.metrics = (
+            metrics or get_metrics() or MetricsRegistry(label="serve")  # reprolint: disable=RL007
+        )
         self.cache = KernelCache(self.config.cache_capacity, metrics=self.metrics)
         self._graphs: Dict[str, _GraphState] = {}
         self._counter = 0

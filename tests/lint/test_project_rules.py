@@ -121,6 +121,71 @@ class TestForkSafety:
         assert run_rules(sources, ["RL007"]) == []
 
 
+class TestForkSafetyShardDispatch:
+    """PR 10 dispatch shapes: Process(target=…) and run_in_executor."""
+
+    METERED_WORKER = """
+    from repro.obs.metrics import get_metrics
+
+    def worker_main(conn):
+        meter(conn)
+
+    def meter(conn):
+        metrics = get_metrics()
+        metrics.inc("batches")
+    """
+    METRICS_STUB = """
+    def get_metrics():
+        return None
+    """
+
+    def test_process_target_keyword_is_a_root(self):
+        sources = {
+            "src/repro/serve/router.py": """
+            import multiprocessing
+
+            from .worker import worker_main
+
+            def boot_shard(conn):
+                proc = multiprocessing.Process(target=worker_main, args=(conn,))
+                proc.start()
+                return proc
+            """,
+            "src/repro/serve/worker.py": self.METERED_WORKER,
+            "src/repro/obs/metrics.py": self.METRICS_STUB,
+        }
+        findings = run_rules(sources, ["RL007"])
+        assert findings, "expected RL007 behind Process(target=...)"
+        assert {f.rule_id for f in findings} == {"RL007"}
+        assert all(f.path == "src/repro/serve/worker.py" for f in findings)
+        assert any("worker_main" in f.message for f in findings)
+
+    def test_run_in_executor_payload_is_a_root(self):
+        sources = {
+            "src/repro/serve/frontend.py": """
+            import asyncio
+
+            from .worker import worker_main
+
+            async def dispatch(executor, batch):
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(executor, worker_main, batch)
+            """,
+            "src/repro/serve/worker.py": self.METERED_WORKER,
+            "src/repro/obs/metrics.py": self.METRICS_STUB,
+        }
+        findings = run_rules(sources, ["RL007"])
+        assert findings, "expected RL007 behind run_in_executor"
+        assert all(f.path == "src/repro/serve/worker.py" for f in findings)
+
+    def test_worker_module_alone_is_silent(self):
+        sources = {
+            "src/repro/serve/worker.py": self.METERED_WORKER,
+            "src/repro/obs/metrics.py": self.METRICS_STUB,
+        }
+        assert run_rules(sources, ["RL007"]) == []
+
+
 class TestRequestContextFlow:
     SOURCES = {
         "src/repro/serve/context.py": """
@@ -182,6 +247,78 @@ class TestRequestContextFlow:
             path.replace("repro/serve/", "repro/core/"): src
             for path, src in self.SOURCES.items()
         }
+        assert run_rules(sources, ["RL008"]) == []
+
+
+class TestRequestContextAsyncVerbs:
+    """PR 10 surface: async verbs on *Frontend/*Router classes."""
+
+    HELPERS = {
+        "src/repro/serve/context.py": """
+        class RequestContext:
+            @classmethod
+            def create(cls, request_id=None):
+                return cls()
+        """,
+        "src/repro/serve/helpers.py": """
+        def traced(graph_id, context=None):
+            return graph_id
+        """,
+    }
+
+    def test_async_frontend_verb_without_context_is_flagged(self):
+        sources = dict(self.HELPERS)
+        sources["src/repro/serve/front.py"] = """
+        from .helpers import traced
+
+        class AsyncFrontend:
+            async def submit(self, request):
+                return traced(request)
+        """
+        findings = run_rules(sources, ["RL008"])
+        assert [f.rule_id for f in findings] == ["RL008"]
+        assert findings[0].path == "src/repro/serve/front.py"
+        assert "submit" in findings[0].message
+
+    def test_router_verb_without_context_is_flagged(self):
+        sources = dict(self.HELPERS)
+        sources["src/repro/serve/route.py"] = """
+        from .helpers import traced
+
+        class ShardRouter:
+            def dispatch(self, shard, request):
+                return traced(request)
+        """
+        findings = run_rules(sources, ["RL008"])
+        assert [f.rule_id for f in findings] == ["RL008"]
+        assert "dispatch" in findings[0].message
+
+    def test_async_verb_dropping_bound_context_is_flagged(self):
+        sources = dict(self.HELPERS)
+        sources["src/repro/serve/front.py"] = """
+        from .context import RequestContext
+        from .helpers import traced
+
+        class AsyncFrontend:
+            async def submit(self, request, context=None):
+                context = context or RequestContext.create()
+                return traced(request)
+        """
+        findings = run_rules(sources, ["RL008"])
+        assert [f.rule_id for f in findings] == ["RL008"]
+        assert "traced" in findings[0].message
+
+    def test_async_verb_forwarding_context_is_clean(self):
+        sources = dict(self.HELPERS)
+        sources["src/repro/serve/front.py"] = """
+        from .context import RequestContext
+        from .helpers import traced
+
+        class AsyncFrontend:
+            async def submit(self, request, context=None):
+                context = context or RequestContext.create()
+                return traced(request, context=context)
+        """
         assert run_rules(sources, ["RL008"]) == []
 
 

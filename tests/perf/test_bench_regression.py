@@ -16,6 +16,14 @@ def test_smoke_suite_writes_report(tmp_path):
     assert report["schema"] == bench_regression.SCHEMA_VERSION
     assert report["suite"] == "smoke"
     for gname in report["graphs"]:
+        if gname == "serve-load":
+            # The serving front-end pseudo-graph: one workload-level
+            # record, not per-algorithm suite timings.
+            rec = report["timings"][gname]["ServeLoad"]
+            assert rec["async_wall"] > 0
+            assert rec["sync_wall"] > 0
+            assert rec["equivalent"] is True
+            continue
         timings = report["timings"][gname]
         for algorithm in ("BDOne", "LinearTime", "NearLinear"):
             rec = timings[algorithm]
@@ -54,11 +62,15 @@ def test_gated_tracks_cover_all_flat_backends():
         "near_linear_vec",
         "linear_time_auto",
         "near_linear_auto",
+        "serve_load",
     }
     for track, (record, field) in bench_regression.GATED_TRACKS.items():
         if track == "serve_incremental":
             assert record == "ServeIncremental"
             assert field == "repair_wall"
+        elif track == "serve_load":
+            assert record == "ServeLoad"
+            assert field == "async_wall"
         elif track.endswith("_vec"):
             assert record in {"LinearTime-vec", "NearLinear-vec"}
             assert field == "vec_wall"
@@ -137,6 +149,8 @@ def test_compare_gate_exit_code(tmp_path):
     report = json.loads(out.read_text())
     record, field = bench_regression.GATED_TRACKS["linear_time"]
     for gname in report["timings"]:
+        if gname == "serve-load":
+            continue
         rec = report["timings"][gname][record]
         rec[field] = rec[field] / 100.0  # baseline 100x faster
     baseline.write_text(json.dumps(report))
@@ -165,6 +179,8 @@ def test_max_regression_flag_loosens_gate(tmp_path):
     report = json.loads(out.read_text())
     record, field = bench_regression.GATED_TRACKS["linear_time"]
     for gname in report["timings"]:
+        if gname == "serve-load":
+            continue
         rec = report["timings"][gname][record]
         rec[field] = rec[field] / 3.0  # fresh runs look ~3x slower
     baseline.write_text(json.dumps(report))
@@ -239,6 +255,8 @@ def test_smoke_suite_serve_incremental_track(tmp_path):
     assert bench_regression.main(["--smoke", "--out", str(out), "--repeats", "1"]) == 0
     report = json.loads(out.read_text())
     for gname in report["graphs"]:
+        if gname == "serve-load":
+            continue
         rec = report["timings"][gname]["ServeIncremental"]
         assert rec["cold_wall"] > 0
         assert rec["warm_wall"] > 0

@@ -145,3 +145,57 @@ def test_unknown_algorithm_name_raises():
     g = gnm_random_graph(20, 40, seed=14)
     with pytest.raises(ValueError, match="unknown algorithm name"):
         solve_by_components_parallel(g, "no_such_algorithm")
+
+
+class TestWorkerPool:
+    """The reusable pool behind the shard workers and repeated dispatches."""
+
+    def test_payload_round_trip(self):
+        from repro.perf import decode_graph_payload, encode_graph_payload
+
+        graph = gnm_random_graph(60, 150, seed=4)
+        offsets, targets, name = encode_graph_payload(graph)
+        rebuilt = decode_graph_payload(offsets, targets, name)
+        assert rebuilt.n == graph.n and rebuilt.m == graph.m
+        assert rebuilt.name == graph.name
+        assert [sorted(rebuilt.neighbors(v)) for v in range(rebuilt.n)] == [
+            sorted(graph.neighbors(v)) for v in range(graph.n)
+        ]
+
+    def test_reuse_matches_owned_pool(self):
+        from repro.perf import WorkerPool
+
+        union = disjoint_union(
+            [gnm_random_graph(250, 700, seed=5), gnm_random_graph(240, 650, seed=6)]
+        )
+        serial = solve_by_components(union, linear_time)
+        with WorkerPool(processes=2) as pool:
+            for _ in range(2):  # second call reuses the live pool
+                parallel = solve_by_components_parallel(
+                    union,
+                    "linear_time",
+                    processes=2,
+                    min_component_size=50,
+                    pool=pool,
+                )
+                _assert_equivalent(parallel, serial)
+
+    def test_close_is_restartable_and_idempotent(self):
+        from repro.perf import WorkerPool
+
+        graph = gnm_random_graph(200, 500, seed=7)
+        serial = solve_by_components(graph, linear_time)
+        pool = WorkerPool(processes=2)
+        try:
+            first = solve_by_components_parallel(
+                graph, "linear_time", processes=2, min_component_size=10, pool=pool
+            )
+            pool.close()
+            pool.close()
+            second = solve_by_components_parallel(
+                graph, "linear_time", processes=2, min_component_size=10, pool=pool
+            )
+        finally:
+            pool.close()
+        _assert_equivalent(first, serial)
+        _assert_equivalent(second, serial)

@@ -164,3 +164,90 @@ class TestStreaming:
         assert lines[0]["ok"] and lines[2]["ok"]
         assert not lines[1]["ok"] and "JSONDecodeError" in lines[1]["error"]
         assert not lines[3]["ok"]
+
+
+class TestProtocolHardening:
+    def test_parse_request_line_round_trip(self):
+        from repro.serve import parse_request_line
+
+        request = parse_request_line('{"op": "solve", "id": "g", "rid": "r1"}')
+        assert request == {"op": "solve", "id": "g", "rid": "r1"}
+
+    def test_oversized_line_is_rejected_with_rid(self):
+        from repro.errors import ReproError
+        from repro.serve import MAX_REQUEST_BYTES, parse_request_line, salvage_rid
+
+        line = json.dumps({"op": "solve", "rid": "big1", "pad": "x" * MAX_REQUEST_BYTES})
+        try:
+            parse_request_line(line)
+        except ReproError as exc:
+            assert "too large" in str(exc)
+        else:  # pragma: no cover - the guard must fire
+            raise AssertionError("oversized line was accepted")
+        assert salvage_rid(line) == "big1"
+
+    def test_non_object_payload_is_rejected(self):
+        from repro.errors import ReproError
+
+        from repro.serve import parse_request_line
+
+        for line in ("[1, 2, 3]", '"just a string"', "42"):
+            try:
+                parse_request_line(line)
+            except ReproError as exc:
+                assert "object" in str(exc)
+            else:  # pragma: no cover
+                raise AssertionError(f"accepted non-object line {line!r}")
+
+    def test_salvage_rid_from_malformed_json(self):
+        from repro.serve import salvage_rid
+
+        assert salvage_rid('{"rid": "r42", "op": "solve", broken') == "r42"
+        assert salvage_rid("not json at all") is None
+
+    def test_error_response_shape(self):
+        from repro.serve import error_response
+
+        response = error_response("boom", rid="r7", op="solve")
+        assert response == {"ok": False, "op": "solve", "error": "boom", "rid": "r7"}
+        bare = error_response("boom")
+        assert bare["ok"] is False and bare["op"] is None
+
+    def test_ping_round_trip(self):
+        response = handle_request(_service(), {"op": "ping", "rid": "p1"})
+        assert response["ok"] and response["pong"] and response["rid"] == "p1"
+
+    def test_stream_echoes_rid_on_malformed_line(self):
+        service = _service()
+        source = ['{"rid": "bad1", "op": "solve", broken json']
+        sink = io.StringIO()
+        failed = serve_stream(service, source, sink)
+        [response] = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert failed == 1
+        assert response["ok"] is False
+        assert response["rid"] == "bad1"
+        assert "Error" in response["error"]
+
+    def test_stream_should_stop_drains_cleanly(self):
+        service = _service()
+        calls = {"count": 0}
+
+        def stop_after_two():
+            return calls["count"] >= 2
+
+        def counting_source():
+            for line in (
+                json.dumps({"op": "ping", "rid": "a"}),
+                json.dumps({"op": "ping", "rid": "b"}),
+                json.dumps({"op": "ping", "rid": "c"}),
+            ):
+                yield line
+                calls["count"] += 1
+
+        sink = io.StringIO()
+        failed = serve_stream(
+            service, counting_source(), sink, should_stop=stop_after_two
+        )
+        lines = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert failed == 0
+        assert [r["rid"] for r in lines] == ["a", "b"]

@@ -247,6 +247,98 @@ class TestServe:
         )
         assert len(responses.read_text().splitlines()) == 2
 
+    def test_serve_async_replay_matches_sync(self, metis_file, tmp_path):
+        import json
+
+        requests = tmp_path / "requests.jsonl"
+        sync_out = tmp_path / "sync.jsonl"
+        async_out = tmp_path / "async.jsonl"
+        requests.write_text(
+            '{"op": "register", "id": "g", "path": "%s", "rid": "r0"}\n'
+            '{"op": "solve", "id": "g", "rid": "r1"}\n'
+            '{"op": "solve", "id": "g", "rid": "r2"}\n'
+            '{"op": "ping", "rid": "r3"}\n' % metis_file
+        )
+        assert main(["serve", str(requests), "--output", str(sync_out)]) == 0
+        assert (
+            main(
+                [
+                    "serve",
+                    str(requests),
+                    "--async",
+                    "--shards",
+                    "2",
+                    "--output",
+                    str(async_out),
+                ]
+            )
+            == 0
+        )
+        from repro.serve.loadgen import normalize_response
+
+        sync_lines = [
+            normalize_response(json.loads(line))
+            for line in sync_out.read_text().splitlines()
+        ]
+        async_lines = [
+            normalize_response(json.loads(line))
+            for line in async_out.read_text().splitlines()
+        ]
+        assert sync_lines == async_lines
+
+    def test_serve_async_rejects_snapshot_flags(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"op": "ping"}\n')
+        state = tmp_path / "state.json"
+        assert (
+            main(["serve", str(requests), "--async", "--snapshot", str(state)])
+            == 1
+        )
+        assert "single-process" in capsys.readouterr().err
+
+    def test_serve_async_bad_request_sets_exit_code(self, tmp_path, capsys):
+        requests = tmp_path / "requests.jsonl"
+        requests.write_text('{"op": "solve", "id": "missing", "rid": "r1"}\n')
+        assert main(["serve", str(requests), "--async"]) == 1
+        out = capsys.readouterr().out
+        assert '"ok": false' in out
+
+
+class TestLoadgen:
+    def test_loadgen_report_round_trip(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--vertices",
+                    "120",
+                    "--graphs",
+                    "2",
+                    "--requests",
+                    "30",
+                    "--burst",
+                    "4",
+                    "--shards",
+                    "2",
+                    "--edge-probability",
+                    "0.05",
+                    "--out",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup" in out and "equivalent=True" in out
+        payload = json.loads(report.read_text())
+        assert payload["equivalence"]["equivalent"]
+        assert payload["shed_check"]["all_valid"]
+        assert payload["sync"]["throughput"] > 0
+        assert payload["async"]["throughput"] > 0
+
     def test_snapshot_summary_and_verify(self, metis_file, tmp_path, capsys):
         state = tmp_path / "state.json"
         requests = tmp_path / "requests.jsonl"
